@@ -1,0 +1,82 @@
+//! Criterion benches: throughput of the adder designs on kernel-shaped
+//! operand streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use st2::prelude::*;
+use std::hint::black_box;
+
+/// A loop-iterator + accumulator stream (the favourable case).
+fn correlated_stream(n: usize) -> Vec<(u64, u64, bool)> {
+    let mut v = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for i in 0..n as u64 {
+        v.push((i, 1, false));
+        acc = acc.wrapping_add(i * 3);
+        v.push((acc, i * 3, false));
+    }
+    v
+}
+
+/// A pseudo-random stream (the adversarial case).
+fn random_stream(n: usize) -> Vec<(u64, u64, bool)> {
+    let mut state = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state, state.rotate_left(17), state >> 63 != 0)
+        })
+        .collect()
+}
+
+fn bench_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adders");
+    for (name, stream) in [
+        ("correlated", correlated_stream(2_000)),
+        ("random", random_stream(2_000)),
+    ] {
+        group.bench_function(format!("st2/{name}"), |b| {
+            b.iter_batched(
+                || SpeculativeAdder::st2(SliceLayout::INT64),
+                |mut adder| {
+                    let ctx = OpContext::default();
+                    for &(x, y, sub) in &stream {
+                        black_box(adder.add(&ctx, x, y, sub));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("valhalla/{name}"), |b| {
+            b.iter_batched(
+                || SpeculativeAdder::new(SliceLayout::INT64, SpeculationConfig::valhalla()),
+                |mut adder| {
+                    let ctx = OpContext::default();
+                    for &(x, y, sub) in &stream {
+                        black_box(adder.add(&ctx, x, y, sub));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("ripple_reference/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    st2::core::BaselineAdder::new(
+                        st2::core::BaselineKind::Ripple,
+                        SliceLayout::INT64,
+                    )
+                },
+                |mut adder| {
+                    for &(x, y, sub) in &stream {
+                        black_box(adder.add(x, y, sub));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adders);
+criterion_main!(benches);

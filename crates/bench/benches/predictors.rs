@@ -1,0 +1,50 @@
+//! Criterion benches: design-space-exploration throughput (replaying a
+//! real kernel's adder-event stream through each speculation mechanism).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use st2::core::dse::ConfigRunner;
+use st2::prelude::*;
+use std::hint::black_box;
+
+fn kernel_records() -> Vec<AddRecord> {
+    let spec = st2::kernels::pathfinder::build(Scale::Test);
+    let mut mem = spec.memory.clone();
+    let out = run_functional(
+        &spec.program,
+        spec.launch,
+        &mut mem,
+        &FunctionalOptions {
+            collect_records: true,
+            ..Default::default()
+        },
+    );
+    out.records
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let records = kernel_records();
+    let mut group = c.benchmark_group("predictors");
+    group.throughput(criterion::Throughput::Elements(records.len() as u64));
+    for cfg in [
+        SpeculationConfig::static_zero(),
+        SpeculationConfig::valhalla(),
+        SpeculationConfig::prev_peek(),
+        SpeculationConfig::gtid_prev_modpc4_peek(),
+        SpeculationConfig::st2(),
+    ] {
+        group.bench_function(cfg.label(), |b| {
+            b.iter_batched(
+                || ConfigRunner::new(cfg),
+                |mut runner| {
+                    runner.process_all(&records);
+                    black_box(runner.stats().misprediction_rate())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

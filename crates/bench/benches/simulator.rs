@@ -1,0 +1,44 @@
+//! Criterion benches: functional and cycle-level simulation throughput,
+//! baseline vs ST² execute stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st2::prelude::*;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = st2::kernels::pathfinder::build(Scale::Test);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    group.bench_function("functional/pathfinder", |b| {
+        b.iter(|| {
+            let mut mem = spec.memory.clone();
+            black_box(run_functional(
+                &spec.program,
+                spec.launch,
+                &mut mem,
+                &FunctionalOptions::default(),
+            ))
+        });
+    });
+
+    let base = GpuConfig::scaled(2);
+    group.bench_function("timed_baseline/pathfinder", |b| {
+        b.iter(|| {
+            let mut mem = spec.memory.clone();
+            black_box(run_timed(&spec.program, spec.launch, &mut mem, &base))
+        });
+    });
+
+    let st2 = base.with_st2();
+    group.bench_function("timed_st2/pathfinder", |b| {
+        b.iter(|| {
+            let mut mem = spec.memory.clone();
+            black_box(run_timed(&spec.program, spec.launch, &mut mem, &st2))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

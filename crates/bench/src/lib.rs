@@ -1,0 +1,235 @@
+//! Shared infrastructure for the reproduction harness: suite runners
+//! (parallelised across kernels), result caching, and table printing.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure of the
+//! paper; see DESIGN.md's per-experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use st2::prelude::*;
+use st2::sim::ActivityCounters;
+
+/// Scale selected by the command line (`--scale test|full`, default full).
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--scale" && w[1] == "test" {
+            return Scale::Test;
+        }
+    }
+    Scale::Full
+}
+
+/// The simulated GPU size used by the harness (a 4-SM slice of the
+/// TITAN V; energy results are normalised so the shape is preserved).
+#[must_use]
+pub fn harness_gpu() -> GpuConfig {
+    GpuConfig::scaled(4)
+}
+
+/// One kernel's functional results.
+pub struct FunctionalRun {
+    /// Kernel spec (memory already consumed by the run).
+    pub spec: KernelSpec,
+    /// Functional output (mix, optional records/trace).
+    pub out: st2::sim::FunctionalOutput,
+}
+
+/// Runs the whole suite functionally, in parallel across kernels.
+///
+/// # Panics
+///
+/// Panics if any kernel fails its CPU-reference verification.
+#[must_use]
+pub fn functional_suite(scale: Scale, collect_records: bool) -> Vec<FunctionalRun> {
+    let specs = suite(scale);
+    let results: Mutex<Vec<(usize, FunctionalRun)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, spec) in specs.into_iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let mut mem = spec.memory.clone();
+                let out = run_functional(
+                    &spec.program,
+                    spec.launch,
+                    &mut mem,
+                    &FunctionalOptions {
+                        collect_records,
+                        ..Default::default()
+                    },
+                );
+                spec.verify(&mem)
+                    .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
+                results.lock().push((i, FunctionalRun { spec, out }));
+            });
+        }
+    })
+    .expect("suite threads join");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One kernel's baseline + ST² timed results.
+pub struct TimedPair {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Baseline run.
+    pub baseline: TimedOutput,
+    /// ST² run.
+    pub st2: TimedOutput,
+}
+
+impl TimedPair {
+    /// ST² slowdown relative to baseline (0 = identical).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.st2.cycles as f64 / self.baseline.cycles as f64 - 1.0
+    }
+
+    /// Baseline activity.
+    #[must_use]
+    pub fn baseline_activity(&self) -> &ActivityCounters {
+        &self.baseline.activity
+    }
+}
+
+/// Runs the whole suite on the cycle-level engine, baseline and ST², in
+/// parallel across kernels.
+///
+/// # Panics
+///
+/// Panics if any kernel fails verification or the two runs' results
+/// diverge.
+#[must_use]
+pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
+    let specs = suite(scale);
+    let st2_cfg = cfg.with_st2();
+    let results: Mutex<Vec<(usize, TimedPair)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, spec) in specs.into_iter().enumerate() {
+            let results = &results;
+            let cfg = *cfg;
+            s.spawn(move |_| {
+                let mut m1 = spec.memory.clone();
+                let baseline = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
+                let mut m2 = spec.memory.clone();
+                let st2 = run_timed(&spec.program, spec.launch, &mut m2, &st2_cfg);
+                assert_eq!(
+                    m1.as_bytes(),
+                    m2.as_bytes(),
+                    "{}: speculation changed results",
+                    spec.name
+                );
+                spec.verify(&m1)
+                    .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
+                results.lock().push((
+                    i,
+                    TimedPair {
+                        name: spec.name,
+                        baseline,
+                        st2,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("suite threads join");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Prints a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Prints a ruled header line.
+pub fn header(title: &str) {
+    println!("\n== {title} ==");
+    println!("{:-<78}", "");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_suite_runs_at_test_scale() {
+        let runs = functional_suite(Scale::Test, false);
+        assert_eq!(runs.len(), 23);
+        assert!(runs.iter().all(|r| r.out.mix.total() > 0));
+        // Order matches the Fig. 6 suite order.
+        assert_eq!(runs[0].spec.name, "binomial");
+        assert_eq!(runs[7].spec.name, "pathfinder");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.215), "21.5%");
+    }
+}
+
+/// Optional artifact directory from `--out <dir>`: figure binaries write
+/// machine-readable CSVs there in addition to the console tables.
+#[must_use]
+pub fn artifact_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// Writes one CSV artifact (creating the directory as needed). Cells are
+/// quoted only when they contain commas.
+///
+/// # Panics
+///
+/// Panics on I/O errors — an unwritable artifact directory is an operator
+/// error the harness should surface immediately.
+pub fn write_csv(dir: &std::path::Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir).expect("create artifact directory");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create artifact file");
+    let quote = |s: &str| {
+        if s.contains(',') {
+            format!("\"{s}\"")
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+        writeln!(f, "{}", cells.join(",")).expect("write row");
+    }
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod artifact_tests {
+    use super::write_csv;
+
+    #[test]
+    fn csv_round_trips() {
+        let dir = std::env::temp_dir().join("st2_csv_test");
+        write_csv(
+            &dir,
+            "probe",
+            &["kernel", "value"],
+            &[
+                vec!["pathfinder".into(), "0.5".into()],
+                vec!["a,b".into(), "1".into()],
+            ],
+        );
+        let text = std::fs::read_to_string(dir.join("probe.csv")).expect("read back");
+        assert_eq!(text, "kernel,value\npathfinder,0.5\n\"a,b\",1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the gate-level substrate.
+
+use proptest::prelude::*;
+use st2_circuit::builder::{
+    carry_select_adder, pack_inputs, reference_adder, ripple_adder, unpack_outputs,
+};
+use st2_circuit::sim::EventSim;
+use st2_circuit::VoltageModel;
+
+fn mask_for(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+proptest! {
+    /// Every adder construction computes exact binary addition.
+    #[test]
+    fn all_adders_add(
+        bits in 1u32..=64,
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) {
+        let m = mask_for(bits);
+        let (a, b) = (a & m, b & m);
+        let wide = a as u128 + b as u128 + u128::from(cin);
+        for net in [ripple_adder(bits), reference_adder(bits)] {
+            let outs = net.eval(&pack_inputs(bits, a, b, cin));
+            let (sum, cout) = unpack_outputs(bits, &outs);
+            prop_assert_eq!(sum, (wide as u64) & m);
+            prop_assert_eq!(cout, wide >> bits & 1 == 1);
+        }
+    }
+
+    /// The carry-select composition is exact for any slicing.
+    #[test]
+    fn csla_adds_for_any_slicing(
+        bits in 2u32..=48,
+        slice in 1u32..=16,
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) {
+        prop_assume!(slice <= bits);
+        let m = mask_for(bits);
+        let (a, b) = (a & m, b & m);
+        let net = carry_select_adder(bits, slice);
+        let outs = net.eval(&pack_inputs(bits, a, b, cin));
+        let (sum, cout) = unpack_outputs(bits, &outs);
+        let wide = a as u128 + b as u128 + u128::from(cin);
+        prop_assert_eq!(sum, (wide as u64) & m);
+        prop_assert_eq!(cout, wide >> bits & 1 == 1);
+    }
+
+    /// Event-driven simulation always settles to the functional value and
+    /// within the static critical path.
+    #[test]
+    fn event_sim_settles_correctly(
+        bits in 1u32..=32,
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..20),
+    ) {
+        let net = ripple_adder(bits);
+        let cp = net.critical_path();
+        let mut sim = EventSim::new(&net);
+        let m = mask_for(bits);
+        for &(a, b, cin) in &pairs {
+            let ins = pack_inputs(bits, a & m, b & m, cin);
+            let report = sim.apply(&ins);
+            prop_assert!(report.settle_time <= cp);
+            prop_assert_eq!(sim.outputs(), net.eval(&ins));
+        }
+    }
+
+    /// Repeating an input vector never toggles anything.
+    #[test]
+    fn repeated_vectors_are_free(bits in 1u32..=24, a: u64, b: u64) {
+        let net = ripple_adder(bits);
+        let mut sim = EventSim::new(&net);
+        let m = mask_for(bits);
+        let ins = pack_inputs(bits, a & m, b & m, false);
+        let _ = sim.apply(&ins);
+        let again = sim.apply(&ins);
+        prop_assert_eq!(again.toggles, 0);
+    }
+
+    /// Voltage scaling: delay factors are >= 1 below nominal and energy is
+    /// exactly quadratic.
+    #[test]
+    fn voltage_model_monotonicity(v in 0.45f64..1.0, cap in 0.1f64..1000.0) {
+        let m = VoltageModel::saed90_like();
+        prop_assert!(m.delay_factor(v) >= 1.0);
+        prop_assert!(m.delay_factor(v) >= m.delay_factor((v + 1.0) / 2.0));
+        let e_full = m.switching_energy_fj(cap, 1.0);
+        let e_v = m.switching_energy_fj(cap, v);
+        prop_assert!((e_v / e_full - v * v).abs() < 1e-12);
+    }
+
+    /// The minimum scaled voltage meets its own deadline.
+    #[test]
+    fn min_voltage_meets_period(units in 1u32..60, slack in 1.0f64..4.0) {
+        let m = VoltageModel::saed90_like();
+        let period = m.path_delay_ps(units, 1.0) * slack;
+        if let Some(v) = m.min_voltage_fraction_for_path(units, period) {
+            prop_assert!(m.path_delay_ps(units, v) <= period + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Non-speculative reference adders used as comparison points.
+//!
+//! * **Ripple** — the monolithic reference adder (the paper's baseline is
+//!   the Synopsys DesignWare default adder at nominal voltage). One cycle,
+//!   full nominal energy per operation.
+//! * **CSLA** — the carry-select adder: every slice except the first
+//!   computes *both* carry-in cases every operation, then selects. One
+//!   cycle, but `2n − 1` slice computations per op, which is what ST²'s
+//!   "recompute only when mispredicted" policy avoids.
+
+use crate::bits::{effective_operands, SliceLayout};
+use serde::{Deserialize, Serialize};
+
+/// Which reference design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// Monolithic reference adder at nominal voltage.
+    Ripple,
+    /// Carry-select adder: duplicated slices, single cycle.
+    Csla,
+}
+
+/// Activity counters for a reference adder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Slice computations performed (for CSLA; ripple counts whole-adder
+    /// operations here, one per op).
+    pub slice_computations: u64,
+}
+
+/// A stateless reference adder with activity accounting.
+///
+/// ```
+/// use st2_core::{BaselineAdder, BaselineKind, SliceLayout};
+/// let mut a = BaselineAdder::new(BaselineKind::Csla, SliceLayout::INT64);
+/// assert_eq!(a.add(7, 8, false), 15);
+/// // CSLA computed slice 0 once and slices 1..8 twice:
+/// assert_eq!(a.stats().slice_computations, 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineAdder {
+    kind: BaselineKind,
+    layout: SliceLayout,
+    stats: BaselineStats,
+}
+
+impl BaselineAdder {
+    /// Creates a reference adder.
+    #[must_use]
+    pub fn new(kind: BaselineKind, layout: SliceLayout) -> Self {
+        BaselineAdder {
+            kind,
+            layout,
+            stats: BaselineStats::default(),
+        }
+    }
+
+    /// The design kind.
+    #[must_use]
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The slice layout.
+    #[must_use]
+    pub fn layout(&self) -> SliceLayout {
+        self.layout
+    }
+
+    /// Accumulated activity.
+    #[must_use]
+    pub fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Performs `a ± b`, returning the masked result.
+    pub fn add(&mut self, a: u64, b: u64, sub: bool) -> u64 {
+        let (a_eff, b_eff, cin) = effective_operands(self.layout, a, b, sub);
+        let sum = a_eff
+            .wrapping_add(b_eff)
+            .wrapping_add(u64::from(cin))
+            & self.layout.value_mask();
+        self.stats.ops += 1;
+        self.stats.slice_computations += match self.kind {
+            BaselineKind::Ripple => 1,
+            BaselineKind::Csla => 2 * u64::from(self.layout.count()) - 1,
+        };
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_and_csla_agree_with_wrapping_arithmetic() {
+        let mut r = BaselineAdder::new(BaselineKind::Ripple, SliceLayout::INT64);
+        let mut c = BaselineAdder::new(BaselineKind::Csla, SliceLayout::INT64);
+        for (a, b, sub) in [
+            (0u64, 0u64, false),
+            (u64::MAX, 1, false),
+            (5, 9, true),
+            (1 << 63, 1 << 63, false),
+        ] {
+            let expect = if sub { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+            assert_eq!(r.add(a, b, sub), expect);
+            assert_eq!(c.add(a, b, sub), expect);
+        }
+        assert_eq!(r.stats().ops, 4);
+        assert_eq!(r.stats().slice_computations, 4);
+        assert_eq!(c.stats().slice_computations, 4 * 15);
+    }
+
+    #[test]
+    fn narrow_layouts_mask() {
+        let mut r = BaselineAdder::new(BaselineKind::Ripple, SliceLayout::MANT24);
+        assert_eq!(r.add(0xff_ffff, 1, false), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Slice layouts and carry-chain arithmetic shared by every adder model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a wide adder is decomposed into equal-width slices.
+///
+/// The paper's design point is 8-bit slices (identified as the best
+/// energy/delay trade-off by the circuit design-space exploration in §V-B).
+/// A 64-bit integer adder is 8 × 8-bit slices, an FP32 mantissa adder is
+/// 3 × 8-bit slices and an FP64 mantissa adder is 7 × 8-bit slices.
+///
+/// ```
+/// use st2_core::SliceLayout;
+/// let l = SliceLayout::INT64;
+/// assert_eq!(l.total_bits(), 64);
+/// assert_eq!(l.boundaries(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SliceLayout {
+    width: u8,
+    count: u8,
+}
+
+impl SliceLayout {
+    /// 64-bit integer adder as 8 × 8-bit slices (the paper's general case).
+    pub const INT64: SliceLayout = SliceLayout { width: 8, count: 8 };
+    /// 32-bit integer adder as 4 × 8-bit slices (TITAN V's native ALU width).
+    pub const INT32: SliceLayout = SliceLayout { width: 8, count: 4 };
+    /// FP32 mantissa adder: 24-bit significand as 3 × 8-bit slices.
+    pub const MANT24: SliceLayout = SliceLayout { width: 8, count: 3 };
+    /// FP64 mantissa adder: 53-bit significand padded into 7 × 8-bit slices.
+    pub const MANT53: SliceLayout = SliceLayout { width: 8, count: 7 };
+
+    /// Creates a layout of `count` slices of `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is empty or wider than 64 bits, or if `width`
+    /// is zero.
+    #[must_use]
+    pub fn new(width: u8, count: u8) -> Self {
+        assert!(width > 0, "slice width must be non-zero");
+        assert!(count > 0, "slice count must be non-zero");
+        assert!(
+            (width as u32) * (count as u32) <= 64,
+            "layout exceeds 64 bits"
+        );
+        SliceLayout { width, count }
+    }
+
+    /// Bits per slice.
+    #[must_use]
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Number of slices.
+    #[must_use]
+    pub fn count(self) -> u8 {
+        self.count
+    }
+
+    /// Total adder width in bits.
+    #[must_use]
+    pub fn total_bits(self) -> u32 {
+        u32::from(self.width) * u32::from(self.count)
+    }
+
+    /// Number of inter-slice carry boundaries (`count - 1`).
+    ///
+    /// This is the number of carry-ins that must be speculated: slice 0
+    /// receives the architectural carry-in, never a prediction.
+    #[must_use]
+    pub fn boundaries(self) -> u8 {
+        self.count - 1
+    }
+
+    /// Mask selecting the adder's `total_bits` low bits.
+    #[must_use]
+    pub fn value_mask(self) -> u64 {
+        mask(self.total_bits())
+    }
+
+    /// Mask selecting one slice's bits (before shifting into position).
+    #[must_use]
+    pub fn slice_mask(self) -> u64 {
+        mask(u32::from(self.width))
+    }
+
+    /// Extracts slice `i`'s bits of `value`, right-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count`.
+    #[must_use]
+    pub fn slice_of(self, value: u64, i: u8) -> u64 {
+        assert!(i < self.count, "slice index out of range");
+        (value >> (u32::from(i) * u32::from(self.width))) & self.slice_mask()
+    }
+
+    /// Bit position of the most significant bit of slice `i`.
+    #[must_use]
+    pub fn msb_of_slice(self, i: u8) -> u32 {
+        assert!(i < self.count, "slice index out of range");
+        (u32::from(i) + 1) * u32::from(self.width) - 1
+    }
+}
+
+impl Default for SliceLayout {
+    fn default() -> Self {
+        SliceLayout::INT64
+    }
+}
+
+impl fmt::Display for SliceLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}b", self.count, self.width)
+    }
+}
+
+/// Mask with the low `bits` bits set (`bits <= 64`).
+#[must_use]
+pub fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// One slice's combinational result: masked sum and carry-out.
+#[must_use]
+pub fn slice_add(layout: SliceLayout, a_slice: u64, b_slice: u64, cin: bool) -> (u64, bool) {
+    let raw = a_slice + b_slice + u64::from(cin);
+    let sum = raw & layout.slice_mask();
+    let cout = raw >> layout.width != 0;
+    (sum, cout)
+}
+
+/// The true carry chain of `a + b + cin0` under `layout`.
+///
+/// Returns `(sum, carries)` where `carries` bit `i` (for `i` in
+/// `0..count`) is the **carry-out of slice i** — equivalently the true
+/// carry-in of slice `i + 1`. The final carry-out of the whole adder is
+/// bit `count - 1`.
+#[must_use]
+pub fn carry_chain(layout: SliceLayout, a: u64, b: u64, cin0: bool) -> (u64, u64) {
+    let mut carries = 0u64;
+    let mut sum = 0u64;
+    let mut cin = cin0;
+    for i in 0..layout.count() {
+        let (s, cout) = slice_add(layout, layout.slice_of(a, i), layout.slice_of(b, i), cin);
+        sum |= s << (u32::from(i) * u32::from(layout.width()));
+        if cout {
+            carries |= 1 << i;
+        }
+        cin = cout;
+    }
+    (sum, carries)
+}
+
+/// Effective operands of an add/sub as seen by the adder hardware.
+///
+/// Subtraction is performed as `a + !b + 1`, so the second operand is
+/// bitwise-inverted (within the adder width) and the architectural carry-in
+/// of slice 0 becomes 1.
+#[must_use]
+pub fn effective_operands(layout: SliceLayout, a: u64, b: u64, sub: bool) -> (u64, u64, bool) {
+    let m = layout.value_mask();
+    if sub {
+        (a & m, !b & m, true)
+    } else {
+        (a & m, b & m, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_constants() {
+        assert_eq!(SliceLayout::INT64.total_bits(), 64);
+        assert_eq!(SliceLayout::INT32.total_bits(), 32);
+        assert_eq!(SliceLayout::MANT24.total_bits(), 24);
+        assert_eq!(SliceLayout::MANT53.total_bits(), 56);
+        assert_eq!(SliceLayout::INT64.boundaries(), 7);
+        assert_eq!(SliceLayout::MANT24.boundaries(), 2);
+    }
+
+    #[test]
+    fn slice_extraction() {
+        let l = SliceLayout::INT64;
+        let v = 0x1122_3344_5566_7788u64;
+        assert_eq!(l.slice_of(v, 0), 0x88);
+        assert_eq!(l.slice_of(v, 7), 0x11);
+        assert_eq!(l.msb_of_slice(0), 7);
+        assert_eq!(l.msb_of_slice(7), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice index out of range")]
+    fn slice_extraction_out_of_range() {
+        let _ = SliceLayout::MANT24.slice_of(0, 3);
+    }
+
+    #[test]
+    fn carry_chain_matches_wide_add() {
+        let l = SliceLayout::INT64;
+        let cases = [
+            (0u64, 0u64, false),
+            (u64::MAX, 1, false),
+            (0x00FF_00FF_00FF_00FF, 0x0001_0001_0001_0001, false),
+            (0x8000_0000_0000_0000, 0x8000_0000_0000_0000, false),
+            (12345, 99999, true),
+        ];
+        for (a, b, cin) in cases {
+            let (sum, carries) = carry_chain(l, a, b, cin);
+            let wide = (a as u128) + (b as u128) + u128::from(cin);
+            assert_eq!(sum, wide as u64, "sum mismatch for {a:#x}+{b:#x}+{cin}");
+            assert_eq!(
+                carries >> 7 & 1,
+                (wide >> 64) as u64 & 1,
+                "final carry mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn carry_chain_boundary_bits() {
+        // 0x00FF + 0x0001 carries out of slice 0 only.
+        let l = SliceLayout::new(8, 2);
+        let (sum, carries) = carry_chain(l, 0x00FF, 0x0001, false);
+        assert_eq!(sum, 0x0100);
+        assert_eq!(carries, 0b01);
+    }
+
+    #[test]
+    fn effective_operands_sub() {
+        let l = SliceLayout::INT32;
+        let (a, b, cin) = effective_operands(l, 10, 3, true);
+        let (sum, _) = carry_chain(l, a, b, cin);
+        assert_eq!(sum, 7);
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+}

@@ -1,0 +1,238 @@
+//! The `Prev` history table: per-slice carry-outs of past additions, keyed
+//! along the spatial (PC) and thread-sharing axes of the design space.
+//!
+//! The practical hardware realisation of the winning configuration
+//! (`Ltid+Prev+ModPC4`) is the Carry Register File in [`crate::crf`]; this
+//! module is the *behavioural* table used by the design-space exploration,
+//! which also covers the unimplementably large configurations (FullPC,
+//! Gtid) that the paper evaluates as idealised upper bounds.
+
+use crate::bits::mask;
+use crate::config::{PcIndex, ThreadKey};
+use crate::event::OpContext;
+use std::collections::HashMap;
+
+/// Maximum supported history depth (the paper's design uses depth 1).
+pub const MAX_DEPTH: usize = 4;
+
+/// One table entry: a small ring of the most recent boundary-carry vectors.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    vals: [u64; MAX_DEPTH],
+    len: u8,
+    head: u8,
+}
+
+impl Entry {
+    fn push(&mut self, v: u64, depth: u8) {
+        let depth = depth.clamp(1, MAX_DEPTH as u8);
+        self.vals[usize::from(self.head)] = v;
+        self.head = (self.head + 1) % depth;
+        self.len = self.len.saturating_add(1).min(depth);
+    }
+
+    /// Per-bit majority over the retained vectors (ties predict 1, since a
+    /// tie means the carry fired in half the recent past).
+    fn majority(&self, boundaries: u8) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        if self.len == 1 {
+            // Depth-1 fast path: the previous carry vector verbatim.
+            let idx = if self.head == 0 {
+                MAX_DEPTH - 1
+            } else {
+                usize::from(self.head) - 1
+            };
+            // With len==1 the single value is at slot 0 regardless.
+            let _ = idx;
+            return self.vals[0];
+        }
+        let mut out = 0u64;
+        for j in 0..boundaries {
+            let ones: u8 = (0..usize::from(self.len))
+                .map(|s| (self.vals[s] >> j & 1) as u8)
+                .sum();
+            if u16::from(ones) * 2 >= u16::from(self.len) {
+                out |= 1 << j;
+            }
+        }
+        out
+    }
+}
+
+/// A behavioural `Prev` history table.
+///
+/// ```
+/// use st2_core::{history::HistoryTable, OpContext, PcIndex, ThreadKey};
+/// let mut t = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Ltid, 1);
+/// let ctx = OpContext { pc: 0x13, gtid: 100, ltid: 4 };
+/// assert_eq!(t.predict(&ctx), 0); // cold: predict no carries
+/// t.record(&ctx, 0b0000101, 7);
+/// assert_eq!(t.predict(&ctx), 0b0000101);
+/// // A different warp, same lane, same PC slot shares the entry:
+/// let other = OpContext { pc: 0x13, gtid: 900, ltid: 4 };
+/// assert_eq!(t.predict(&other), 0b0000101);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    pc_index: PcIndex,
+    thread_key: ThreadKey,
+    depth: u8,
+    entries: HashMap<u64, Entry>,
+}
+
+impl HistoryTable {
+    /// Creates an empty table for the given indexing scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds [`MAX_DEPTH`].
+    #[must_use]
+    pub fn new(pc_index: PcIndex, thread_key: ThreadKey, depth: u8) -> Self {
+        assert!(
+            depth >= 1 && usize::from(depth) <= MAX_DEPTH,
+            "history depth must be 1..={MAX_DEPTH}"
+        );
+        HistoryTable {
+            pc_index,
+            thread_key,
+            depth,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The table index for an operation: spatial (PC) bits in the low word,
+    /// thread-sharing bits in the high word.
+    #[must_use]
+    pub fn key(&self, ctx: &OpContext) -> u64 {
+        let pc_part = match self.pc_index {
+            PcIndex::None => 0,
+            PcIndex::ModPc(k) => u64::from(ctx.pc) & mask(u32::from(k)),
+            PcIndex::XorFold(k) => xor_fold(ctx.pc, k),
+            PcIndex::Full => u64::from(ctx.pc),
+        };
+        let thread_part = match self.thread_key {
+            ThreadKey::Shared => 0u64,
+            ThreadKey::Gtid => u64::from(ctx.gtid),
+            ThreadKey::Ltid => u64::from(ctx.ltid & 31),
+        };
+        thread_part << 32 | pc_part
+    }
+
+    /// The predicted boundary-carry vector for this operation (0 when cold).
+    #[must_use]
+    pub fn predict(&self, ctx: &OpContext) -> u64 {
+        self.entries
+            .get(&self.key(ctx))
+            .map_or(0, |e| e.majority(63))
+    }
+
+    /// Records the true boundary carries of a completed operation.
+    pub fn record(&mut self, ctx: &OpContext, true_carries: u64, boundaries: u8) {
+        let _ = boundaries;
+        self.entries
+            .entry(self.key(ctx))
+            .or_default()
+            .push(true_carries, self.depth);
+    }
+
+    /// Number of distinct entries currently allocated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all history.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// XOR-fold a 32-bit PC into `k` bits.
+#[must_use]
+pub fn xor_fold(pc: u32, k: u8) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let m = mask(u32::from(k));
+    let mut acc = 0u64;
+    let mut v = u64::from(pc);
+    while v != 0 {
+        acc ^= v & m;
+        v >>= k;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u32, gtid: u32, ltid: u32) -> OpContext {
+        OpContext { pc, gtid, ltid }
+    }
+
+    #[test]
+    fn modpc_aliases_distant_pcs() {
+        let t = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Shared, 1);
+        assert_eq!(t.key(&ctx(0x3, 0, 0)), t.key(&ctx(0x13, 0, 0)));
+        assert_ne!(t.key(&ctx(0x3, 0, 0)), t.key(&ctx(0x4, 0, 0)));
+    }
+
+    #[test]
+    fn full_pc_disambiguates() {
+        let t = HistoryTable::new(PcIndex::Full, ThreadKey::Shared, 1);
+        assert_ne!(t.key(&ctx(0x3, 0, 0)), t.key(&ctx(0x13, 0, 0)));
+    }
+
+    #[test]
+    fn gtid_vs_ltid_sharing() {
+        let g = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Gtid, 1);
+        let l = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Ltid, 1);
+        // Same lane in different warps: gtids 5 and 37, both lane 5.
+        assert_ne!(g.key(&ctx(1, 5, 5)), g.key(&ctx(1, 37, 5)));
+        assert_eq!(l.key(&ctx(1, 5, 5)), l.key(&ctx(1, 37, 5)));
+    }
+
+    #[test]
+    fn record_then_predict_roundtrip() {
+        let mut t = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Ltid, 1);
+        let c = ctx(9, 41, 9);
+        t.record(&c, 0b101_0101, 7);
+        assert_eq!(t.predict(&c), 0b101_0101);
+        t.record(&c, 0b000_0001, 7);
+        assert_eq!(t.predict(&c), 0b000_0001, "depth-1 keeps only the latest");
+    }
+
+    #[test]
+    fn deeper_history_votes_majority() {
+        let mut t = HistoryTable::new(PcIndex::None, ThreadKey::Shared, 3);
+        let c = ctx(0, 0, 0);
+        t.record(&c, 0b1, 7);
+        t.record(&c, 0b1, 7);
+        t.record(&c, 0b0, 7);
+        assert_eq!(t.predict(&c) & 1, 1, "2-of-3 majority");
+    }
+
+    #[test]
+    fn xor_fold_folds() {
+        assert_eq!(xor_fold(0x0000_0000, 4), 0);
+        assert_eq!(xor_fold(0x0000_00ab, 4), 0xa ^ 0xb);
+        // 1^2^3^4^5^6^7^8 = 8
+        assert_eq!(xor_fold(0x1234_5678, 4), 0x8);
+        assert_eq!(xor_fold(0xffff_ffff, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history depth")]
+    fn zero_depth_rejected() {
+        let _ = HistoryTable::new(PcIndex::None, ThreadKey::Shared, 0);
+    }
+}

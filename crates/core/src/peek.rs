@@ -1,0 +1,124 @@
+//! The static *Peek* mechanism.
+//!
+//! Dynamic speculation is not always necessary: if the most significant bits
+//! of both effective input operands of slice `i − 1` are 0, the carry into
+//! slice `i` is *guaranteed* to be 0; if both are 1 it is guaranteed to be 1.
+//! ST² peeks at those bits and falls back to dynamic speculation only when
+//! the static prediction is impossible. Retrofitting VaLHALLA with Peek
+//! alone cuts its misprediction rate by 18 % in the paper.
+
+use crate::bits::SliceLayout;
+
+/// Static carry knowledge extracted from the operands.
+///
+/// Bit `j` of each mask refers to the carry **into slice `j + 1`** (the
+/// boundary between slices `j` and `j + 1`), matching the prediction-bit
+/// convention used throughout this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeekOutcome {
+    /// Boundaries whose carry is statically determined.
+    pub static_mask: u64,
+    /// For boundaries in `static_mask`, the guaranteed carry value.
+    pub static_bits: u64,
+}
+
+impl PeekOutcome {
+    /// Number of statically determined boundaries.
+    #[must_use]
+    pub fn static_count(&self) -> u32 {
+        self.static_mask.count_ones()
+    }
+}
+
+/// Inspects the MSbs of each slice's *effective* operands (`a`, and `b`
+/// already inverted for subtraction) and returns the statically known
+/// boundary carries.
+///
+/// Why this is sound: the carry out of slice `j` is
+/// `g | (p & cin)` evaluated over the slice, and its MSb pair alone gives
+/// `g = a·b` (generate) and `p = a⊕b` (propagate) for the final position.
+/// If `a = b = 0` at the MSb then neither generate nor propagate is
+/// possible there, so the slice's carry-out is 0 regardless of anything
+/// below. If `a = b = 1` the MSb generates, so the carry-out is 1.
+///
+/// ```
+/// use st2_core::{bits::SliceLayout, peek::peek};
+/// let l = SliceLayout::INT64;
+/// // All-zero operands: every boundary carry is statically 0.
+/// let p = peek(l, 0, 0);
+/// assert_eq!(p.static_mask, 0x7f);
+/// assert_eq!(p.static_bits, 0);
+/// ```
+#[must_use]
+pub fn peek(layout: SliceLayout, a_eff: u64, b_eff: u64) -> PeekOutcome {
+    let mut static_mask = 0u64;
+    let mut static_bits = 0u64;
+    for j in 0..layout.boundaries() {
+        let msb = layout.msb_of_slice(j);
+        let a_bit = (a_eff >> msb) & 1;
+        let b_bit = (b_eff >> msb) & 1;
+        if a_bit == b_bit {
+            static_mask |= 1 << j;
+            if a_bit == 1 {
+                static_bits |= 1 << j;
+            }
+        }
+    }
+    PeekOutcome {
+        static_mask,
+        static_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{carry_chain, SliceLayout};
+
+    #[test]
+    fn both_ones_guarantees_carry() {
+        let l = SliceLayout::new(8, 2);
+        // MSb of slice 0 is bit 7; set it in both operands.
+        let p = peek(l, 0x80, 0x80);
+        assert_eq!(p.static_mask, 1);
+        assert_eq!(p.static_bits, 1);
+    }
+
+    #[test]
+    fn mixed_bits_are_dynamic() {
+        let l = SliceLayout::new(8, 2);
+        let p = peek(l, 0x80, 0x00);
+        assert_eq!(p.static_mask, 0);
+    }
+
+    #[test]
+    fn static_predictions_are_always_correct() {
+        // Exhaustive over a small 2x4-bit layout: every statically
+        // determined boundary matches the true carry chain.
+        let l = SliceLayout::new(4, 2);
+        for a in 0..=0xffu64 {
+            for b in 0..=0xffu64 {
+                let p = peek(l, a, b);
+                let (_, carries) = carry_chain(l, a, b, false);
+                if p.static_mask & 1 != 0 {
+                    assert_eq!(p.static_bits & 1, carries & 1, "a={a:#x} b={b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_correct_even_with_carry_in() {
+        // The guarantee must hold regardless of the slice's own carry-in.
+        let l = SliceLayout::new(4, 2);
+        for a in 0..=0xffu64 {
+            for b in 0..=0xffu64 {
+                let p = peek(l, a, b);
+                let (_, carries) = carry_chain(l, a, b, true);
+                if p.static_mask & 1 != 0 {
+                    assert_eq!(p.static_bits & 1, carries & 1, "a={a:#x} b={b:#x} cin=1");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The cycle-accurate slice engine: speculative first cycle, misprediction
+//! detection, the second (recompute) cycle and the carry-select-style final
+//! selection of the paper's Fig. 4.
+//!
+//! Bit conventions used throughout: for a layout with `n` slices there are
+//! `n − 1` carry *boundaries*. Boundary `j` (bit `j` of every mask) is the
+//! carry out of slice `j`, which is the carry **into slice `j + 1`**.
+//! Slice 0 always receives the architectural carry-in and is never
+//! speculated.
+
+use crate::bits::{carry_chain, effective_operands, slice_add, SliceLayout};
+use crate::config::RecomputePolicy;
+use crate::peek::PeekOutcome;
+
+/// Everything the hardware produced for one add/sub operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceEval {
+    /// The (always correct) result, masked to the adder width.
+    pub sum: u64,
+    /// Carry out of the most significant slice.
+    pub carry_out: bool,
+    /// True boundary carries (bit `j` = true carry into slice `j + 1`).
+    /// These are what the history table learns.
+    pub true_carries: u64,
+    /// Boundary carry-outs observed at the end of the speculative first
+    /// cycle (may differ from `true_carries` below a misprediction).
+    pub cycle1_carries: u64,
+    /// The carry-ins actually supplied to slices `1..n` in cycle 1, after
+    /// the static Peek override.
+    pub supplied_predictions: u64,
+    /// Boundaries whose detector fired (`E` signals): the received
+    /// prediction differed from the neighbour's first-cycle carry-out.
+    pub error_mask: u64,
+    /// Slices that re-executed in the second cycle; bit `j` set means slice
+    /// `j + 1` recomputed with the inverted carry-in.
+    pub recompute_mask: u64,
+    /// Whether the operation needed a second cycle.
+    pub mispredicted: bool,
+    /// Latency in cycles (1 or 2).
+    pub cycles: u8,
+}
+
+impl SliceEval {
+    /// Number of slices that re-executed in the second cycle.
+    #[must_use]
+    pub fn recomputed_slices(&self) -> u32 {
+        self.recompute_mask.count_ones()
+    }
+
+    /// Number of boundary detectors that fired.
+    #[must_use]
+    pub fn error_count(&self) -> u32 {
+        self.error_mask.count_ones()
+    }
+}
+
+/// Runs one operation through the speculative slice engine.
+///
+/// * `predictions` — bit `j` is the dynamically speculated carry-in for
+///   slice `j + 1` (from the Carry Register File or a baseline predictor).
+/// * `peek` — static carry knowledge for these operands; statically known
+///   boundaries override the dynamic prediction (they are guaranteed
+///   correct) and, under [`RecomputePolicy::CutAtStaticPeek`], they stop
+///   the recompute wave.
+///
+/// The returned [`SliceEval::sum`] is always the exact two's-complement
+/// result — speculation affects only latency and energy, never correctness.
+/// This property is asserted (in debug builds) by re-deriving the sum via
+/// the carry-select mechanism the hardware actually uses.
+#[must_use]
+pub fn evaluate(
+    layout: SliceLayout,
+    a: u64,
+    b: u64,
+    sub: bool,
+    predictions: u64,
+    peek: PeekOutcome,
+    policy: RecomputePolicy,
+) -> SliceEval {
+    let (a_eff, b_eff, cin0) = effective_operands(layout, a, b, sub);
+    let (sum, true_carries) = carry_chain(layout, a_eff, b_eff, cin0);
+    let n = layout.count();
+    let boundaries = layout.boundaries();
+    let boundary_mask = crate::bits::mask(u32::from(boundaries));
+    let static_mask = peek.static_mask & boundary_mask;
+    // Statically known carries override whatever was speculated.
+    let predictions =
+        ((predictions & !static_mask) | (peek.static_bits & static_mask)) & boundary_mask;
+
+    // --- Cycle 1: every slice computes with its supplied carry-in. -------
+    let mut cycle1_carries = 0u64;
+    for i in 0..n.saturating_sub(1) {
+        let cin = if i == 0 {
+            cin0
+        } else {
+            predictions >> (i - 1) & 1 != 0
+        };
+        let (_, cout) = slice_add(
+            layout,
+            layout.slice_of(a_eff, i),
+            layout.slice_of(b_eff, i),
+            cin,
+        );
+        if cout {
+            cycle1_carries |= 1 << i;
+        }
+    }
+
+    // --- Detection: E[j] fires when the prediction for boundary j differs
+    // from the neighbour slice's first-cycle carry-out. ------------------
+    let error_mask = (predictions ^ cycle1_carries) & boundary_mask;
+    let mispredicted = error_mask != 0;
+
+    // --- Recompute wave (cycle 2). ---------------------------------------
+    let recompute_mask = if !mispredicted {
+        0
+    } else {
+        match policy {
+            RecomputePolicy::PropagateToTop => {
+                // Everything at or above the first error is suspect.
+                let first = error_mask.trailing_zeros();
+                boundary_mask & !crate::bits::mask(first)
+            }
+            RecomputePolicy::CutAtStaticPeek => {
+                let mut m = 0u64;
+                let mut suspect_below = false;
+                for j in 0..boundaries {
+                    let is_static = static_mask >> j & 1 != 0;
+                    let err = error_mask >> j & 1 != 0;
+                    let suspect = !is_static && (err || suspect_below);
+                    if suspect {
+                        m |= 1 << j;
+                    }
+                    suspect_below = suspect;
+                }
+                m
+            }
+        }
+    };
+
+    // Correctness invariant: every boundary whose prediction disagrees with
+    // the *true* carry must recompute (statically guaranteed boundaries can
+    // never disagree, by the Peek soundness property).
+    debug_assert_eq!(
+        (predictions ^ true_carries) & boundary_mask & !recompute_mask,
+        0,
+        "a wrongly-predicted slice escaped the recompute wave"
+    );
+
+    // Re-derive the sum the way the hardware does: each slice keeps its
+    // cycle-1 result if its true carry-in matches the supplied one,
+    // otherwise takes the cycle-2 (inverted carry-in) result.
+    debug_assert_eq!(
+        select_sum(layout, a_eff, b_eff, cin0, true_carries),
+        sum,
+        "carry-select reconstruction diverged from the reference sum"
+    );
+
+    let carry_out = true_carries >> (n - 1) & 1 != 0;
+    SliceEval {
+        sum,
+        carry_out,
+        true_carries: true_carries & boundary_mask,
+        cycle1_carries,
+        supplied_predictions: predictions,
+        error_mask,
+        recompute_mask,
+        mispredicted,
+        cycles: if mispredicted { 2 } else { 1 },
+    }
+}
+
+/// The hardware's final selection: per slice, pick the computation whose
+/// carry-in equals the now-known true carry-in. (Both candidate values
+/// exist after cycle 2: one computed with the prediction, one with its
+/// inverse — a carry-in is one bit, so one of them used the truth.)
+fn select_sum(layout: SliceLayout, a_eff: u64, b_eff: u64, cin0: bool, true_carries: u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..layout.count() {
+        let true_cin = if i == 0 {
+            cin0
+        } else {
+            true_carries >> (i - 1) & 1 != 0
+        };
+        let (s, _) = slice_add(
+            layout,
+            layout.slice_of(a_eff, i),
+            layout.slice_of(b_eff, i),
+            true_cin,
+        );
+        sum |= s << (u32::from(i) * u32::from(layout.width()));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peek::peek;
+
+    const L: SliceLayout = SliceLayout::INT64;
+    const NO_PEEK: PeekOutcome = PeekOutcome {
+        static_mask: 0,
+        static_bits: 0,
+    };
+
+    #[test]
+    fn perfect_prediction_is_single_cycle() {
+        let a = 0x0123_4567_89ab_cdefu64;
+        let b = 0x1111_2222_3333_4444u64;
+        let (_, carries) = carry_chain(L, a, b, false);
+        let eval = evaluate(L, a, b, false, carries, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+        assert!(!eval.mispredicted);
+        assert_eq!(eval.cycles, 1);
+        assert_eq!(eval.recomputed_slices(), 0);
+        assert_eq!(eval.sum, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn wrong_prediction_detected_and_corrected() {
+        let a = 0x00ff_0000_0000_00ffu64;
+        let b = 1u64;
+        // Predict all-zero carries; the true carry out of slice 0 is 1.
+        let eval = evaluate(L, a, b, false, 0, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+        assert!(eval.mispredicted);
+        assert_eq!(eval.cycles, 2);
+        assert_eq!(eval.sum, a.wrapping_add(b));
+        assert!(eval.error_mask & 1 != 0);
+    }
+
+    #[test]
+    fn subtraction_correct() {
+        for (a, b) in [(100u64, 30u64), (0, 1), (u64::MAX, u64::MAX), (5, 500)] {
+            let eval = evaluate(L, a, b, true, 0, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+            assert_eq!(eval.sum, a.wrapping_sub(b), "{a} - {b}");
+        }
+    }
+
+    #[test]
+    fn propagate_to_top_recomputes_everything_above() {
+        let a = 0x00ffu64;
+        let b = 1u64;
+        let eval = evaluate(L, a, b, false, 0, NO_PEEK, RecomputePolicy::PropagateToTop);
+        assert!(eval.mispredicted);
+        // First error at boundary 0 => all 7 boundaries recompute.
+        assert_eq!(eval.recomputed_slices(), 7);
+    }
+
+    #[test]
+    fn static_peek_cuts_recompute_wave() {
+        let a = 0x00ffu64;
+        let b = 1u64;
+        // With peek, the upper slices are all statically zero (operand bits
+        // 0), so only the slice right above the error recomputes.
+        let p = peek(L, a, b);
+        let eval = evaluate(L, a, b, false, 0, p, RecomputePolicy::CutAtStaticPeek);
+        // Boundary 0: a-slice MSb is 1 (0xff), b is 0 -> dynamic, predicted
+        // 0, true carry 1 -> error; boundaries 1.. are static-zero/correct.
+        assert!(eval.mispredicted);
+        assert_eq!(eval.recomputed_slices(), 1);
+        assert_eq!(eval.sum, a + b);
+    }
+
+    #[test]
+    fn static_override_beats_bad_prediction() {
+        // Dynamic prediction says "carry everywhere", but every boundary is
+        // statically zero: the override makes the op single-cycle.
+        let p = peek(L, 0, 0);
+        let eval = evaluate(L, 0, 0, false, 0x7f, p, RecomputePolicy::CutAtStaticPeek);
+        assert!(!eval.mispredicted);
+        assert_eq!(eval.supplied_predictions, 0);
+    }
+
+    #[test]
+    fn all_static_boundaries_never_recompute() {
+        let p = peek(L, 0, 0);
+        let eval = evaluate(L, 0, 0, false, 0, p, RecomputePolicy::CutAtStaticPeek);
+        assert!(!eval.mispredicted);
+        assert_eq!(eval.recompute_mask, 0);
+    }
+
+    #[test]
+    fn single_slice_layout_never_speculates() {
+        let l = SliceLayout::new(8, 1);
+        let eval = evaluate(l, 200, 100, false, 0, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+        assert!(!eval.mispredicted);
+        assert_eq!(eval.sum, 300 & l.value_mask());
+    }
+
+    #[test]
+    fn exhaustive_small_layout() {
+        // Exhaustive over a 3x3-bit layout and prediction masks: the sum is
+        // always correct and the recompute invariant holds (debug asserts).
+        let l = SliceLayout::new(3, 3);
+        let m = l.value_mask();
+        for a in (0..512u64).step_by(7) {
+            for b in (0..512u64).step_by(11) {
+                for pred in 0..4u64 {
+                    for sub in [false, true] {
+                        let (ae, be, _) = effective_operands(l, a, b, sub);
+                        let pk = peek(l, ae, be);
+                        for (peeked, policy) in [
+                            (pk, RecomputePolicy::CutAtStaticPeek),
+                            (NO_PEEK, RecomputePolicy::CutAtStaticPeek),
+                            (NO_PEEK, RecomputePolicy::PropagateToTop),
+                        ] {
+                            let eval = evaluate(l, a, b, sub, pred, peeked, policy);
+                            let expect = if sub {
+                                a.wrapping_sub(b) & m
+                            } else {
+                                a.wrapping_add(b) & m
+                            };
+                            assert_eq!(eval.sum, expect, "a={a} b={b} sub={sub}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the core speculation invariants.
+
+use proptest::prelude::*;
+use st2_core::bits::{carry_chain, effective_operands};
+use st2_core::peek::{peek, PeekOutcome};
+use st2_core::slice::evaluate;
+use st2_core::{
+    OpContext, PcIndex, RecomputePolicy, SliceLayout, SpeculationConfig, SpeculativeAdder,
+    ThreadKey,
+};
+
+fn layouts() -> impl Strategy<Value = SliceLayout> {
+    prop_oneof![
+        Just(SliceLayout::INT64),
+        Just(SliceLayout::INT32),
+        Just(SliceLayout::MANT24),
+        Just(SliceLayout::MANT53),
+        Just(SliceLayout::new(4, 4)),
+        Just(SliceLayout::new(3, 5)),
+    ]
+}
+
+fn policies() -> impl Strategy<Value = RecomputePolicy> {
+    prop_oneof![
+        Just(RecomputePolicy::CutAtStaticPeek),
+        Just(RecomputePolicy::PropagateToTop),
+    ]
+}
+
+proptest! {
+    /// The central theorem of variable-latency speculative adders: for any
+    /// operands, any prediction, any peek state and any recompute policy,
+    /// the result equals two's-complement addition/subtraction.
+    #[test]
+    fn speculation_never_corrupts_results(
+        layout in layouts(),
+        a: u64,
+        b: u64,
+        sub: bool,
+        pred: u64,
+        use_peek: bool,
+        policy in policies(),
+    ) {
+        let (ae, be, _) = effective_operands(layout, a, b, sub);
+        let pk = if use_peek { peek(layout, ae, be) } else { PeekOutcome::default() };
+        let eval = evaluate(layout, a, b, sub, pred, pk, policy);
+        let expect = if sub { a.wrapping_sub(b) } else { a.wrapping_add(b) }
+            & layout.value_mask();
+        prop_assert_eq!(eval.sum, expect);
+        prop_assert!(eval.cycles == 1 || eval.cycles == 2);
+        prop_assert_eq!(eval.cycles == 2, eval.mispredicted);
+    }
+
+    /// Statically peeked boundaries always match the true carry chain.
+    #[test]
+    fn peek_is_sound(layout in layouts(), a: u64, b: u64, cin: bool) {
+        let m = layout.value_mask();
+        let pk = peek(layout, a & m, b & m);
+        let (_, carries) = carry_chain(layout, a & m, b & m, cin);
+        prop_assert_eq!(
+            pk.static_bits & pk.static_mask,
+            carries & pk.static_mask,
+            "a statically determined carry disagreed with the truth"
+        );
+    }
+
+    /// Perfect predictions (the true carries) always give one cycle.
+    #[test]
+    fn oracle_predictions_are_single_cycle(
+        layout in layouts(),
+        a: u64,
+        b: u64,
+        sub: bool,
+    ) {
+        let (ae, be, cin0) = effective_operands(layout, a, b, sub);
+        let (_, carries) = carry_chain(layout, ae, be, cin0);
+        let eval = evaluate(
+            layout, a, b, sub, carries, PeekOutcome::default(),
+            RecomputePolicy::CutAtStaticPeek,
+        );
+        prop_assert!(!eval.mispredicted);
+        prop_assert_eq!(eval.recomputed_slices(), 0);
+    }
+
+    /// The recompute wave under CutAtStaticPeek is never larger than
+    /// under PropagateToTop (the cut only removes work).
+    #[test]
+    fn peek_cut_never_recomputes_more(
+        layout in layouts(),
+        a: u64,
+        b: u64,
+        sub: bool,
+        pred: u64,
+    ) {
+        let (ae, be, _) = effective_operands(layout, a, b, sub);
+        let pk = peek(layout, ae, be);
+        let cut = evaluate(layout, a, b, sub, pred, pk, RecomputePolicy::CutAtStaticPeek);
+        let full = evaluate(layout, a, b, sub, pred, pk, RecomputePolicy::PropagateToTop);
+        prop_assert!(cut.recomputed_slices() <= full.recomputed_slices());
+        prop_assert_eq!(cut.mispredicted, full.mispredicted);
+        prop_assert_eq!(cut.sum, full.sum);
+    }
+
+    /// Any speculation configuration processes any stream correctly and
+    /// keeps its statistics consistent.
+    #[test]
+    fn adder_statistics_are_consistent(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>(), 0u32..64, 0u32..128), 1..200),
+        peek_on: bool,
+        thread_key in prop_oneof![Just(ThreadKey::Shared), Just(ThreadKey::Gtid), Just(ThreadKey::Ltid)],
+        pc_bits in 0u8..8,
+    ) {
+        let cfg = SpeculationConfig {
+            peek: peek_on,
+            thread_key,
+            pc_index: PcIndex::ModPc(pc_bits),
+            ..SpeculationConfig::st2()
+        };
+        let mut adder = SpeculativeAdder::new(SliceLayout::INT64, cfg);
+        for &(a, b, sub, lane, pc) in &ops {
+            let ctx = OpContext { pc, gtid: lane, ltid: lane & 31 };
+            let out = adder.add(&ctx, a, b, sub);
+            let expect = if sub { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+            prop_assert_eq!(out.sum, expect);
+        }
+        let s = adder.stats();
+        prop_assert_eq!(s.ops, ops.len() as u64);
+        prop_assert!(s.mispredicted_ops <= s.ops);
+        prop_assert_eq!(s.extra_cycles, s.mispredicted_ops);
+        prop_assert_eq!(s.static_boundaries + s.dynamic_boundaries, 7 * s.ops);
+        prop_assert!(s.slices_recomputed <= 7 * s.mispredicted_ops);
+        prop_assert!(s.misprediction_rate() >= 0.0 && s.misprediction_rate() <= 1.0);
+        if !peek_on {
+            prop_assert_eq!(s.static_boundaries, 0);
+        }
+    }
+
+    /// The carry chain helper agrees with 128-bit arithmetic for every
+    /// layout.
+    #[test]
+    fn carry_chain_matches_wide_arithmetic(
+        layout in layouts(),
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) {
+        let m = layout.value_mask();
+        let (sum, carries) = carry_chain(layout, a & m, b & m, cin);
+        let wide = (a & m) as u128 + (b & m) as u128 + u128::from(cin);
+        prop_assert_eq!(sum, (wide as u64) & m);
+        let final_carry = carries >> (layout.count() - 1) & 1;
+        prop_assert_eq!(final_carry, (wide >> layout.total_bits()) as u64 & 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the ISA builder and memory images.
+
+use proptest::prelude::*;
+use st2_isa::{Inst, KernelBuilder, MemImage, Operand};
+
+/// A random nesting of structured control flow, expressed as a small
+/// instruction tree the builder lowers.
+#[derive(Debug, Clone)]
+enum Ctl {
+    Add(i64),
+    If(Vec<Ctl>),
+    IfElse(Vec<Ctl>, Vec<Ctl>),
+    For(u8, Vec<Ctl>),
+}
+
+fn ctl_strategy() -> impl Strategy<Value = Ctl> {
+    let leaf = any::<i64>().prop_map(Ctl::Add);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ctl::If),
+            (
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(a, b)| Ctl::IfElse(a, b)),
+            (1u8..4, prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| Ctl::For(n, b)),
+        ]
+    })
+}
+
+fn emit(k: &mut KernelBuilder, x: st2_isa::Reg, c: st2_isa::Reg, node: &Ctl) {
+    match node {
+        Ctl::Add(v) => k.iadd(x, x.into(), Operand::Imm(*v)),
+        Ctl::If(body) => k.if_(c, |k| {
+            for n in body {
+                emit(k, x, c, n);
+            }
+        }),
+        Ctl::IfElse(t, e) => k.if_else(
+            c,
+            |k| {
+                for n in t {
+                    emit(k, x, c, n);
+                }
+            },
+            |k| {
+                for n in e {
+                    emit(k, x, c, n);
+                }
+            },
+        ),
+        Ctl::For(n, body) => k.for_range(Operand::Imm(0), Operand::Imm(i64::from(*n)), |k, _i| {
+            for m in body {
+                emit(k, x, c, m);
+            }
+        }),
+    }
+}
+
+proptest! {
+    /// Any nesting of structured control flow lowers to a valid program
+    /// whose every branch target and reconvergence point is in range.
+    #[test]
+    fn structured_programs_always_validate(tree in prop::collection::vec(ctl_strategy(), 1..5)) {
+        let mut k = KernelBuilder::new("prop");
+        let x = k.reg();
+        let c = k.reg();
+        for node in &tree {
+            emit(&mut k, x, c, node);
+        }
+        let p = k.finish();
+        prop_assert!(p.validate().is_ok());
+        // Reconvergence points never precede their branch (structured
+        // lowering produces forward reconvergence only).
+        for (pc, inst) in p.insts().iter().enumerate() {
+            if let Inst::Bra { reconv, target, cond } = inst {
+                prop_assert!(*reconv as usize >= pc || cond.is_none() || *target <= pc as u32);
+            }
+        }
+    }
+
+    /// Memory image round trips for every access type.
+    #[test]
+    fn mem_image_round_trips(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        doubles in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let mut m = MemImage::new((words.len() * 4 + doubles.len() * 8) as u64);
+        for (i, &w) in words.iter().enumerate() {
+            m.write_u32(i as u64 * 4, w);
+        }
+        let d_base = words.len() as u64 * 4;
+        for (i, &d) in doubles.iter().enumerate() {
+            m.write_u64(d_base + i as u64 * 8, d);
+        }
+        for (i, &w) in words.iter().enumerate() {
+            prop_assert_eq!(m.read_u32(i as u64 * 4), w);
+            prop_assert_eq!(m.read_i32_sext(i as u64 * 4), i64::from(w as i32));
+        }
+        for (i, &d) in doubles.iter().enumerate() {
+            prop_assert_eq!(m.read_u64(d_base + i as u64 * 8), d);
+        }
+    }
+
+    /// f32/f64 memory access preserves bit patterns (including NaN
+    /// payloads).
+    #[test]
+    fn float_memory_preserves_bits(bits32: u32, bits64: u64) {
+        let mut m = MemImage::new(16);
+        m.write_f32(0, f32::from_bits(bits32));
+        m.write_f64(8, f64::from_bits(bits64));
+        prop_assert_eq!(m.read_f32(0).to_bits(), bits32);
+        prop_assert_eq!(m.read_f64(8).to_bits(), bits64);
+    }
+}

@@ -1,0 +1,197 @@
+//! **binomial** (CUDA Samples binomialOptions).
+//!
+//! Cox–Ross–Rubinstein binomial option pricing: each thread prices one
+//! European call by backward induction over the recombining tree — an
+//! FMA-dominated triangular loop whose per-step values shrink smoothly,
+//! textbook spatio-temporal correlation.
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const STEPS: usize = 24;
+const RISKFREE: f32 = 0.02;
+const VOLATILITY: f32 = 0.30;
+
+/// Builds the binomial options kernel.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let options = 64 * scale.factor() as usize;
+    let mut rng = data::rng_for("binomial");
+    let spot = data::f32_vec(&mut rng, options, 5.0, 30.0);
+    let strike = data::f32_vec(&mut rng, options, 1.0, 100.0);
+    let years = data::f32_vec(&mut rng, options, 0.25, 10.0);
+
+    let s_base = 0u64;
+    let x_base = (options * 4) as u64;
+    let t_base = 2 * x_base;
+    let o_base = 3 * x_base;
+    let scratch_base = 4 * x_base; // per-thread value array (STEPS+1 f32)
+    let mut memory =
+        MemImage::new(scratch_base + (options * (STEPS + 1) * 4) as u64);
+    for i in 0..options {
+        memory.write_f32(s_base + i as u64 * 4, spot[i]);
+        memory.write_f32(x_base + i as u64 * 4, strike[i]);
+        memory.write_f32(t_base + i as u64 * 4, years[i]);
+    }
+
+    // CRR parameters and CPU reference (op-for-op the kernel's schedule).
+    let price = |s: f32, x: f32, t: f32| -> f32 {
+        // Same operation schedule (and rounding) as the kernel.
+        let dt = t * (1.0 / STEPS as f32);
+        let v_sqrt = dt.sqrt() * VOLATILITY;
+        let u = v_sqrt.exp();
+        let d = 1.0 / u;
+        let a = (dt * RISKFREE).exp();
+        let pu = (a - d) / (u - d);
+        let pd = 1.0 - pu;
+        let df = 1.0 / a;
+        let mut vals = [0.0f32; STEPS + 1];
+        // Leaf prices: S·u^i·d^(STEPS-i), built multiplicatively.
+        let mut leaf = s;
+        for _ in 0..STEPS {
+            leaf *= d;
+        }
+        let ratio = u * u;
+        for v in vals.iter_mut() {
+            *v = (leaf - x).max(0.0);
+            leaf *= ratio;
+        }
+        for step in (0..STEPS).rev() {
+            for i in 0..=step {
+                vals[i] = df * pu.mul_add(vals[i + 1], pd * vals[i]);
+            }
+        }
+        vals[0]
+    };
+    let expect: Vec<f32> = (0..options)
+        .map(|i| price(spot[i], strike[i], years[i]))
+        .collect();
+
+    let mut k = KernelBuilder::new("binomial");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(options as i64));
+    k.if_(in_range, |k| {
+        let off = k.reg();
+        k.imul(off, tid.into(), Operand::Imm(4));
+        let (s, x, t) = (k.reg(), k.reg(), k.reg());
+        let a_ = k.reg();
+        k.iadd(a_, off.into(), Operand::Imm(s_base as i64));
+        k.ld_global_u32(s, a_, 0);
+        k.iadd(a_, off.into(), Operand::Imm(x_base as i64));
+        k.ld_global_u32(x, a_, 0);
+        k.iadd(a_, off.into(), Operand::Imm(t_base as i64));
+        k.ld_global_u32(t, a_, 0);
+
+        // dt = t/STEPS; u = exp(v·√dt); d = 1/u; a = exp(r·dt);
+        let dt = k.reg();
+        k.fmul(dt, t.into(), Operand::f32(1.0 / STEPS as f32));
+        let sq = k.reg();
+        k.fsqrt(sq, dt.into());
+        let vs = k.reg();
+        k.fmul(vs, sq.into(), Operand::f32(VOLATILITY));
+        let u = k.reg();
+        k.fexp(u, vs.into());
+        let d = k.reg();
+        k.fdiv(d, Operand::f32(1.0), u.into());
+        let rdt = k.reg();
+        k.fmul(rdt, dt.into(), Operand::f32(RISKFREE));
+        let a = k.reg();
+        k.fexp(a, rdt.into());
+        // pu = (a-d)/(u-d); pd = 1-pu; df = 1/a
+        let num = k.reg();
+        k.fsub(num, a.into(), d.into());
+        let den = k.reg();
+        k.fsub(den, u.into(), d.into());
+        let pu = k.reg();
+        k.fdiv(pu, num.into(), den.into());
+        let pd = k.reg();
+        k.fsub(pd, Operand::f32(1.0), pu.into());
+        let df = k.reg();
+        k.fdiv(df, Operand::f32(1.0), a.into());
+
+        // Leaf values in the per-thread scratch array.
+        let scratch = k.reg();
+        k.imul(scratch, tid.into(), Operand::Imm(((STEPS + 1) * 4) as i64));
+        k.iadd(scratch, scratch.into(), Operand::Imm(scratch_base as i64));
+        // leaf = s * d^STEPS (loop of multiplies), ratio = u*u.
+        let leaf = k.reg();
+        k.mov(leaf, s.into());
+        k.for_range(Operand::Imm(0), Operand::Imm(STEPS as i64), |k, _i| {
+            k.fmul(leaf, leaf.into(), d.into());
+        });
+        let ratio = k.reg();
+        k.fmul(ratio, u.into(), u.into());
+        k.for_range(Operand::Imm(0), Operand::Imm((STEPS + 1) as i64), |k, i| {
+            let payoff = k.reg();
+            k.fsub(payoff, leaf.into(), x.into());
+            k.fmax(payoff, payoff.into(), Operand::f32(0.0));
+            let va = k.reg();
+            k.imul(va, i.into(), Operand::Imm(4));
+            k.iadd(va, va.into(), scratch.into());
+            k.st_global_u32(payoff.into(), va, 0);
+            k.fmul(leaf, leaf.into(), ratio.into());
+        });
+
+        // Backward induction: step from STEPS-1 down to 0.
+        let step = k.reg();
+        k.mov(step, Operand::Imm(STEPS as i64 - 1));
+        k.while_(
+            |k| {
+                let c = k.reg();
+                k.setle(c, Operand::Imm(0), step.into());
+                c
+            },
+            |k| {
+                let bound = k.reg();
+                k.iadd(bound, step.into(), Operand::Imm(1));
+                k.for_range(Operand::Imm(0), bound.into(), |k, i| {
+                    let va = k.reg();
+                    k.imul(va, i.into(), Operand::Imm(4));
+                    k.iadd(va, va.into(), scratch.into());
+                    let lo = k.reg();
+                    k.ld_global_u32(lo, va, 0);
+                    let hi = k.reg();
+                    k.ld_global_u32(hi, va, 4);
+                    // v = df * (pu*hi + pd*lo)
+                    let tmp = k.reg();
+                    k.fmul(tmp, pd.into(), lo.into());
+                    k.fmad(tmp, pu.into(), hi.into(), tmp.into());
+                    k.fmul(tmp, tmp.into(), df.into());
+                    k.st_global_u32(tmp.into(), va, 0);
+                });
+                k.isub(step, step.into(), Operand::Imm(1));
+            },
+        );
+
+        let v0 = k.reg();
+        k.ld_global_u32(v0, scratch, 0);
+        let oa = k.reg();
+        k.iadd(oa, off.into(), Operand::Imm(o_base as i64));
+        k.st_global_u32(v0.into(), oa, 0);
+    });
+
+    KernelSpec {
+        name: "binomial",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new((options as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, o_base, &expect, 5e-3)
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn binomial_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+}

@@ -1,0 +1,109 @@
+//! **histo_K1** (CUDA Samples histogram64).
+//!
+//! Each thread walks a strided slice of the input and accumulates into
+//! its *private* 64-bin sub-histogram (the sample gives every thread a
+//! private counter array precisely to avoid atomics; the merge kernel is
+//! host-side here). Binning is shift/mask work, the accumulation is the
+//! load-add-store pattern, and the strided walk produces the monotone
+//! address adds the ST² history predicts well.
+
+use crate::data;
+use crate::spec::{check_i32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const BINS: usize = 64;
+const PER_THREAD: usize = 32;
+
+/// Builds histo_K1.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let threads = 128 * scale.factor() as usize;
+    let n = threads * PER_THREAD;
+    let bytes = data::i32_vec(&mut data::rng_for("histo"), n, 0, 256);
+
+    let d_base = 0u64;
+    let h_base = (n * 4) as u64;
+    let mut memory = MemImage::new(h_base + (threads * BINS * 4) as u64);
+    for (i, &v) in bytes.iter().enumerate() {
+        memory.write_u32(i as u64 * 4, v as u32);
+    }
+
+    // CPU reference: per-thread private histograms over a strided walk.
+    let mut expect = vec![0i64; threads * BINS];
+    for t in 0..threads {
+        for s in 0..PER_THREAD {
+            let idx = s * threads + t; // strided (coalesced) walk
+            let bin = (bytes[idx] >> 2) as usize & (BINS - 1);
+            expect[t * BINS + bin] += 1;
+        }
+    }
+
+    let mut k = KernelBuilder::new("histo_K1");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(threads as i64));
+    k.if_(in_range, |k| {
+        let my_hist = k.reg();
+        k.imul(my_hist, tid.into(), Operand::Imm((BINS * 4) as i64));
+        k.iadd(my_hist, my_hist.into(), Operand::Imm(h_base as i64));
+        k.for_range(Operand::Imm(0), Operand::Imm(PER_THREAD as i64), |k, s| {
+            // idx = s*threads + tid (coalesced stride)
+            let idx = k.reg();
+            k.imul(idx, s.into(), Operand::Imm(threads as i64));
+            k.iadd(idx, idx.into(), tid.into());
+            let da = k.reg();
+            k.imul(da, idx.into(), Operand::Imm(4));
+            let v = k.reg();
+            k.ld_global_u32(v, da, d_base as i64);
+            // bin = (v >> 2) & 63
+            let bin = k.reg();
+            k.ishr(bin, v.into(), Operand::Imm(2));
+            k.iand(bin, bin.into(), Operand::Imm((BINS - 1) as i64));
+            let ba = k.reg();
+            k.imul(ba, bin.into(), Operand::Imm(4));
+            k.iadd(ba, ba.into(), my_hist.into());
+            let c = k.reg();
+            k.ld_global_u32(c, ba, 0);
+            k.iadd(c, c.into(), Operand::Imm(1));
+            k.st_global_u32(c.into(), ba, 0);
+        });
+    });
+
+    KernelSpec {
+        name: "histo_K1",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new((threads as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| check_i32_region(mem, h_base, &expect))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn histogram_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+
+    #[test]
+    fn histogram_conserves_counts() {
+        let spec = build(Scale::Test);
+        let mut mem = spec.memory.clone();
+        let _ = st2_sim::run_functional(
+            &spec.program,
+            spec.launch,
+            &mut mem,
+            &st2_sim::FunctionalOptions::default(),
+        );
+        let threads = 128;
+        let total: i64 = (0..threads * BINS)
+            .map(|i| mem.read_i32_sext((threads * PER_THREAD * 4 + i * 4) as u64))
+            .sum();
+        assert_eq!(total, (threads * PER_THREAD) as i64);
+    }
+}

@@ -1,0 +1,127 @@
+//! **kmeans_K1** (Rodinia) — nearest-centroid assignment.
+//!
+//! Each thread owns one point and scans all centroids, accumulating
+//! squared Euclidean distance feature by feature (FSUB + FMA), tracking
+//! the running minimum (FP compare + select) — a classic mixed
+//! FPU-add/other workload.
+
+use crate::data;
+use crate::spec::{check_i32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+/// Builds the kmeans assignment kernel.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let n = 256 * scale.factor() as usize;
+    let features = 8usize;
+    let clusters = 5usize;
+
+    let mut rng = data::rng_for("kmeans");
+    // Points clustered around `clusters` centres (realistic: distances to
+    // the owning centre are small and evolve gently across threads).
+    let centres = data::f32_vec(&mut rng, clusters * features, -10.0, 10.0);
+    let mut points = Vec::with_capacity(n * features);
+    for i in 0..n {
+        let c = i % clusters;
+        for f in 0..features {
+            let jitter: f32 = data::f32_vec(&mut rng, 1, -1.5, 1.5)[0];
+            points.push(centres[c * features + f] + jitter);
+        }
+    }
+
+    let p_base = 0u64;
+    let c_base = (n * features * 4) as u64;
+    let m_base = c_base + (clusters * features * 4) as u64;
+    let mut memory = MemImage::new(m_base + (n * 4) as u64);
+    for (i, &v) in points.iter().enumerate() {
+        memory.write_f32(p_base + i as u64 * 4, v);
+    }
+    for (i, &v) in centres.iter().enumerate() {
+        memory.write_f32(c_base + i as u64 * 4, v);
+    }
+
+    // CPU reference.
+    let mut expect = vec![0i64; n];
+    for i in 0..n {
+        let mut best = f32::MAX;
+        let mut best_c = 0i64;
+        for c in 0..clusters {
+            let mut d = 0.0f32;
+            for f in 0..features {
+                let diff = points[i * features + f] - centres[c * features + f];
+                d = diff.mul_add(diff, d);
+            }
+            if d < best {
+                best = d;
+                best_c = c as i64;
+            }
+        }
+        expect[i] = best_c;
+    }
+
+    let mut k = KernelBuilder::new("kmeans_K1");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(n as i64));
+    k.if_(in_range, |k| {
+        let prow = k.reg();
+        k.imul(prow, tid.into(), Operand::Imm((features * 4) as i64));
+        let best = k.reg();
+        k.mov(best, Operand::f32(f32::MAX));
+        let best_c = k.reg();
+        k.mov(best_c, Operand::Imm(0));
+        k.for_range(Operand::Imm(0), Operand::Imm(clusters as i64), |k, c| {
+            let crow = k.reg();
+            k.imul(crow, c.into(), Operand::Imm((features * 4) as i64));
+            k.iadd(crow, crow.into(), Operand::Imm(c_base as i64));
+            let d = k.reg();
+            k.mov(d, Operand::f32(0.0));
+            k.for_range(Operand::Imm(0), Operand::Imm(features as i64), |k, f| {
+                let off = k.reg();
+                k.imul(off, f.into(), Operand::Imm(4));
+                let pa = k.reg();
+                k.iadd(pa, prow.into(), off.into());
+                let pv = k.reg();
+                k.ld_global_u32(pv, pa, 0);
+                let ca = k.reg();
+                k.iadd(ca, crow.into(), off.into());
+                let cv = k.reg();
+                k.ld_global_u32(cv, ca, 0);
+                let diff = k.reg();
+                k.fsub(diff, pv.into(), cv.into());
+                k.fmad(d, diff.into(), diff.into(), d.into());
+            });
+            let closer = k.reg();
+            k.fsetlt(closer, d.into(), best.into());
+            k.if_(closer, |k| {
+                k.mov(best, d.into());
+                k.mov(best_c, c.into());
+            });
+        });
+        let ma = k.reg();
+        k.imul(ma, tid.into(), Operand::Imm(4));
+        k.iadd(ma, ma.into(), Operand::Imm(m_base as i64));
+        k.st_global_u32(best_c.into(), ma, 0);
+    });
+
+    KernelSpec {
+        name: "kmeans_K1",
+        suite: BenchSuite::Rodinia,
+        program: k.finish(),
+        launch: LaunchConfig::new((n as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| check_i32_region(mem, m_base, &expect))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn kmeans_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+}

@@ -1,0 +1,142 @@
+//! **mri-q_K1** (Parboil) — MRI reconstruction Q computation.
+//!
+//! For each voxel the kernel accumulates `phi·cos(arg)` and `phi·sin(arg)`
+//! over all k-space samples, where `arg = 2π(kx·x + ky·y + kz·z)` — a
+//! stream of FMAs feeding the SFU's sin/cos, the paper's SFU-heavy
+//! representative.
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+/// Builds the mri-q computeQ kernel.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let voxels = 128 * scale.factor() as usize;
+    let samples = 48usize;
+
+    let mut rng = data::rng_for("mri-q");
+    let kx = data::f32_vec(&mut rng, samples, -0.5, 0.5);
+    let ky = data::f32_vec(&mut rng, samples, -0.5, 0.5);
+    let kz = data::f32_vec(&mut rng, samples, -0.5, 0.5);
+    let phi = data::f32_vec(&mut rng, samples, 0.1, 1.0);
+    let x = data::f32_vec(&mut rng, voxels, -1.0, 1.0);
+    let y = data::f32_vec(&mut rng, voxels, -1.0, 1.0);
+    let z = data::f32_vec(&mut rng, voxels, -1.0, 1.0);
+
+    // Layout: kx|ky|kz|phi | x|y|z | Qr|Qi
+    let sb = (samples * 4) as u64;
+    let vb = (voxels * 4) as u64;
+    let (kx_b, ky_b, kz_b, phi_b) = (0, sb, 2 * sb, 3 * sb);
+    let (x_b, y_b, z_b) = (4 * sb, 4 * sb + vb, 4 * sb + 2 * vb);
+    let qr_b = 4 * sb + 3 * vb;
+    let qi_b = qr_b + vb;
+    let mut memory = MemImage::new(qi_b + vb);
+    let fill = |m: &mut MemImage, base: u64, v: &[f32]| {
+        for (i, &f) in v.iter().enumerate() {
+            m.write_f32(base + i as u64 * 4, f);
+        }
+    };
+    fill(&mut memory, kx_b, &kx);
+    fill(&mut memory, ky_b, &ky);
+    fill(&mut memory, kz_b, &kz);
+    fill(&mut memory, phi_b, &phi);
+    fill(&mut memory, x_b, &x);
+    fill(&mut memory, y_b, &y);
+    fill(&mut memory, z_b, &z);
+
+    const TWO_PI: f32 = 2.0 * std::f32::consts::PI;
+    // CPU reference (same op order / same fused ops).
+    let mut exp_qr = vec![0.0f32; voxels];
+    let mut exp_qi = vec![0.0f32; voxels];
+    for v in 0..voxels {
+        let (mut qr, mut qi) = (0.0f32, 0.0f32);
+        for s in 0..samples {
+            let mut arg = kx[s] * x[v];
+            arg = ky[s].mul_add(y[v], arg);
+            arg = kz[s].mul_add(z[v], arg);
+            arg *= TWO_PI;
+            qr = phi[s].mul_add(arg.cos(), qr);
+            qi = phi[s].mul_add(arg.sin(), qi);
+        }
+        exp_qr[v] = qr;
+        exp_qi[v] = qi;
+    }
+
+    let mut k = KernelBuilder::new("mri-q_K1");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(voxels as i64));
+    k.if_(in_range, |k| {
+        let off = k.reg();
+        k.imul(off, tid.into(), Operand::Imm(4));
+        let (xv, yv, zv) = (k.reg(), k.reg(), k.reg());
+        let ta = k.reg();
+        k.iadd(ta, off.into(), Operand::Imm(x_b as i64));
+        k.ld_global_u32(xv, ta, 0);
+        k.iadd(ta, off.into(), Operand::Imm(y_b as i64));
+        k.ld_global_u32(yv, ta, 0);
+        k.iadd(ta, off.into(), Operand::Imm(z_b as i64));
+        k.ld_global_u32(zv, ta, 0);
+
+        let qr = k.reg();
+        k.mov(qr, Operand::f32(0.0));
+        let qi = k.reg();
+        k.mov(qi, Operand::f32(0.0));
+        k.for_range(Operand::Imm(0), Operand::Imm(samples as i64), |k, s| {
+            let so = k.reg();
+            k.imul(so, s.into(), Operand::Imm(4));
+            let sa = k.reg();
+            let (kxv, kyv, kzv, phiv) = (k.reg(), k.reg(), k.reg(), k.reg());
+            k.iadd(sa, so.into(), Operand::Imm(kx_b as i64));
+            k.ld_global_u32(kxv, sa, 0);
+            k.iadd(sa, so.into(), Operand::Imm(ky_b as i64));
+            k.ld_global_u32(kyv, sa, 0);
+            k.iadd(sa, so.into(), Operand::Imm(kz_b as i64));
+            k.ld_global_u32(kzv, sa, 0);
+            k.iadd(sa, so.into(), Operand::Imm(phi_b as i64));
+            k.ld_global_u32(phiv, sa, 0);
+
+            let arg = k.reg();
+            k.fmul(arg, kxv.into(), xv.into());
+            k.fmad(arg, kyv.into(), yv.into(), arg.into());
+            k.fmad(arg, kzv.into(), zv.into(), arg.into());
+            k.fmul(arg, arg.into(), Operand::f32(TWO_PI));
+            let c = k.reg();
+            k.fcos(c, arg.into());
+            let s_ = k.reg();
+            k.fsin(s_, arg.into());
+            k.fmad(qr, phiv.into(), c.into(), qr.into());
+            k.fmad(qi, phiv.into(), s_.into(), qi.into());
+        });
+        let oa = k.reg();
+        k.iadd(oa, off.into(), Operand::Imm(qr_b as i64));
+        k.st_global_u32(qr.into(), oa, 0);
+        k.iadd(oa, off.into(), Operand::Imm(qi_b as i64));
+        k.st_global_u32(qi.into(), oa, 0);
+    });
+
+    let exp_all: Vec<f32> = exp_qr.iter().chain(exp_qi.iter()).copied().collect();
+    KernelSpec {
+        name: "mri-q_K1",
+        suite: BenchSuite::Parboil,
+        program: k.finish(),
+        launch: LaunchConfig::new((voxels as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, qr_b, &exp_all, 2e-3)
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn mriq_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+}

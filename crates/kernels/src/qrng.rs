@@ -1,0 +1,237 @@
+//! **qrng_K1 / qrng_K2** (CUDA Samples quasirandomGenerator).
+//!
+//! K1 generates Niederreiter quasirandom numbers by XOR-combining
+//! direction-table entries selected by the bits of the sequence index —
+//! bit-manipulation plus the loop-iterator adds that make qrng_K1 the
+//! paper's most ALU-add-energy-intensive kernel (57 % of system energy in
+//! ALUs/FPUs). K2 applies the inverse cumulative normal distribution
+//! (Acklam's central rational approximation) — an FMA/divide pipeline.
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const DIMS: usize = 3;
+const BITS: usize = 24;
+
+/// The direction table (deterministic, same construction on CPU and GPU
+/// host side — uploaded as kernel input).
+fn direction_table() -> Vec<u32> {
+    let mut rng = data::rng_for("qrng_table");
+    let mut t = Vec::with_capacity(DIMS * BITS);
+    for _ in 0..DIMS {
+        for b in 0..BITS {
+            // Niederreiter-flavoured: a bit pattern anchored at bit
+            // (BITS-1-b) with pseudo-random low garbage, as the sample's
+            // table initialisation produces.
+            let noise: u32 = data::i32_vec(&mut rng, 1, 0, 1 << 16)[0] as u32;
+            t.push(1u32 << (BITS - 1 - b) | (noise & ((1 << (BITS - 1 - b)) - 1)));
+        }
+    }
+    t
+}
+
+/// Builds qrng_K1 (sequence generation).
+#[must_use]
+pub fn build_k1(scale: Scale) -> KernelSpec {
+    let n = 512 * scale.factor() as usize; // points per dimension
+    let table = direction_table();
+
+    let t_base = 0u64;
+    let o_base = (table.len() * 4) as u64;
+    let mut memory = MemImage::new(o_base + (DIMS * n * 4) as u64);
+    for (i, &v) in table.iter().enumerate() {
+        memory.write_u32(i as u64 * 4, v);
+    }
+
+    // CPU reference.
+    let inv = 1.0f32 / (1u32 << BITS) as f32;
+    let mut expect = vec![0.0f32; DIMS * n];
+    for d in 0..DIMS {
+        for i in 0..n {
+            let mut acc = 0u32;
+            let mut idx = i as u32;
+            let mut b = 0;
+            while idx != 0 {
+                if idx & 1 != 0 {
+                    acc ^= table[d * BITS + b];
+                }
+                idx >>= 1;
+                b += 1;
+            }
+            expect[d * n + i] = acc as f32 * inv;
+        }
+    }
+
+    let mut k = KernelBuilder::new("qrng_K1");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(n as i64));
+    k.if_(in_range, |k| {
+        for d in 0..DIMS as i64 {
+            let acc = k.reg();
+            k.mov(acc, Operand::Imm(0));
+            let idx = k.reg();
+            k.mov(idx, tid.into());
+            let bit = k.reg();
+            k.mov(bit, Operand::Imm(0));
+            k.while_(
+                |k| {
+                    let c = k.reg();
+                    k.setne(c, idx.into(), Operand::Imm(0));
+                    c
+                },
+                |k| {
+                    let low = k.reg();
+                    k.iand(low, idx.into(), Operand::Imm(1));
+                    k.if_(low, |k| {
+                        let ta = k.reg();
+                        k.iadd(ta, bit.into(), Operand::Imm(d * BITS as i64));
+                        k.imul(ta, ta.into(), Operand::Imm(4));
+                        let tv = k.reg();
+                        k.ld_global_u32(tv, ta, t_base as i64);
+                        k.ixor(acc, acc.into(), tv.into());
+                    });
+                    k.ishr(idx, idx.into(), Operand::Imm(1));
+                    k.iadd(bit, bit.into(), Operand::Imm(1));
+                },
+            );
+            let f = k.reg();
+            k.i2f(f, acc.into());
+            k.fmul(f, f.into(), Operand::f32(inv));
+            let oa = k.reg();
+            k.iadd(oa, tid.into(), Operand::Imm(d * n as i64));
+            k.imul(oa, oa.into(), Operand::Imm(4));
+            k.iadd(oa, oa.into(), Operand::Imm(o_base as i64));
+            k.st_global_u32(f.into(), oa, 0);
+        }
+    });
+
+    KernelSpec {
+        name: "qrng_K1",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new((n as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, o_base, &expect, 1e-5)
+        })),
+    }
+}
+
+/// Acklam's central-region inverse CND coefficients.
+const A: [f32; 6] = [
+    -39.696_83,
+    220.946_1,
+    -275.928_56,
+    138.357_75,
+    -30.664_798,
+    2.506_628_3,
+];
+const B: [f32; 5] = [
+    -54.476_1,
+    161.585_86,
+    -155.698_99,
+    66.801_31,
+    -13.280_68,
+];
+
+fn inv_cnd_central(u: f32) -> f32 {
+    let q = u - 0.5;
+    let r = q * q;
+    let num = ((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5];
+    let den = ((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0;
+    num * q / den
+}
+
+/// Builds qrng_K2 (inverse cumulative normal transform of uniform inputs).
+#[must_use]
+pub fn build_k2(scale: Scale) -> KernelSpec {
+    let n = 1024 * scale.factor() as usize;
+    // Uniform inputs in the central region (as the sample produces from
+    // the quasirandom stage).
+    let u: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) / (n as f32 + 2.0)).collect();
+    let mut memory = MemImage::from_f32(&u);
+    memory.ensure_len((2 * n * 4) as u64);
+    let o_base = (n * 4) as u64;
+
+    let expect: Vec<f32> = u.iter().map(|&x| inv_cnd_central(x)).collect();
+
+    // Grid-stride launch, as the sample's inverseCNDKernel.
+    let launch = LaunchConfig::new((n as u32 / 8).div_ceil(128).max(1), 128);
+    let total_threads = launch.total_threads() as i64;
+
+    let mut k = KernelBuilder::new("qrng_K2");
+    let tid = k.special(Special::GlobalTid);
+    let i = k.reg();
+    k.mov(i, tid.into());
+    k.while_(
+        |k| {
+            let c = k.reg();
+            k.setlt(c, i.into(), Operand::Imm(n as i64));
+            c
+        },
+        |k| {
+        let ia = k.reg();
+        k.imul(ia, i.into(), Operand::Imm(4));
+        let uu = k.reg();
+        k.ld_global_u32(uu, ia, 0);
+        let q = k.reg();
+        k.fsub(q, uu.into(), Operand::f32(0.5));
+        let r = k.reg();
+        k.fmul(r, q.into(), q.into());
+        // Horner chains via FMA.
+        let num = k.reg();
+        k.mov(num, Operand::f32(A[0]));
+        for c in &A[1..] {
+            k.fmad(num, num.into(), r.into(), Operand::f32(*c));
+        }
+        let den = k.reg();
+        k.mov(den, Operand::f32(B[0]));
+        for c in &B[1..] {
+            k.fmad(den, den.into(), r.into(), Operand::f32(*c));
+        }
+        k.fmad(den, den.into(), r.into(), Operand::f32(1.0));
+        let out = k.reg();
+        k.fmul(out, num.into(), q.into());
+        k.fdiv(out, out.into(), den.into());
+        k.st_global_u32(out.into(), ia, o_base as i64);
+        k.iadd(i, i.into(), Operand::Imm(total_threads));
+        },
+    );
+
+    KernelSpec {
+        name: "qrng_K2",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch,
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, o_base, &expect, 5e-3)
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn qrng_k1_matches_reference() {
+        run_and_verify(&build_k1(Scale::Test));
+    }
+
+    #[test]
+    fn qrng_k2_matches_reference() {
+        run_and_verify(&build_k2(Scale::Test));
+    }
+
+    #[test]
+    fn inv_cnd_is_monotone_and_centred() {
+        assert!(inv_cnd_central(0.5).abs() < 1e-6);
+        assert!(inv_cnd_central(0.9) > inv_cnd_central(0.6));
+        assert!(inv_cnd_central(0.1) < 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! **sad_K1** (Parboil) — sum of absolute differences for H.264 motion
+//! estimation.
+//!
+//! Each thread evaluates one candidate motion vector: it accumulates
+//! `|cur(x,y) − ref(x+dx, y+dy)|` over a 16×16 macroblock. The absolute
+//! difference is a subtract plus a max against its negation — three
+//! adder-datapath operations per pixel, making this the most
+//! ALU-add-saturated kernel in the suite.
+
+use crate::data;
+use crate::spec::{check_i32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const MB: usize = 16; // macroblock edge
+const SEARCH: usize = 8; // search window edge (candidates = SEARCH²)
+
+/// Builds sad_K1.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let mbs = scale.factor() as usize; // macroblocks along each axis
+    let frame_w = mbs * MB + SEARCH;
+    let frame_h = mbs * MB + SEARCH;
+    let candidates = SEARCH * SEARCH;
+    let total = mbs * mbs * candidates;
+
+    let mut rng = data::rng_for("sad");
+    let cur = data::smooth_i32_field(&mut rng, frame_w, frame_h, 255);
+    // The reference frame is the current frame slightly shifted plus
+    // noise — exactly the temporal redundancy motion estimation exploits.
+    let mut reff = vec![0i32; frame_w * frame_h];
+    for y in 0..frame_h {
+        for x in 0..frame_w {
+            let sx = (x + 1).min(frame_w - 1);
+            let sy = (y + 1).min(frame_h - 1);
+            reff[y * frame_w + x] = (cur[sy * frame_w + sx] + (x as i32 % 3) - 1).clamp(0, 255);
+        }
+    }
+
+    let c_base = 0u64;
+    let r_base = (frame_w * frame_h * 4) as u64;
+    let o_base = 2 * r_base;
+    let mut memory = MemImage::new(o_base + (total * 4) as u64);
+    for (i, &v) in cur.iter().enumerate() {
+        memory.write_u32(c_base + i as u64 * 4, v as u32);
+    }
+    for (i, &v) in reff.iter().enumerate() {
+        memory.write_u32(r_base + i as u64 * 4, v as u32);
+    }
+
+    // CPU reference.
+    let mut expect = vec![0i64; total];
+    for mby in 0..mbs {
+        for mbx in 0..mbs {
+            for dy in 0..SEARCH {
+                for dx in 0..SEARCH {
+                    let mut sad = 0i64;
+                    for y in 0..MB {
+                        for x in 0..MB {
+                            let c = cur[(mby * MB + y) * frame_w + mbx * MB + x];
+                            let r = reff[(mby * MB + y + dy) * frame_w + mbx * MB + x + dx];
+                            sad += i64::from((c - r).abs());
+                        }
+                    }
+                    let t = (mby * mbs + mbx) * candidates + dy * SEARCH + dx;
+                    expect[t] = sad;
+                }
+            }
+        }
+    }
+
+    let mut k = KernelBuilder::new("sad_K1");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(total as i64));
+    k.if_(in_range, |k| {
+        // Decode (mb, dy, dx) from the thread id.
+        let mb = k.reg();
+        k.idiv(mb, tid.into(), Operand::Imm(candidates as i64));
+        let cand = k.reg();
+        k.irem(cand, tid.into(), Operand::Imm(candidates as i64));
+        let dy = k.reg();
+        k.idiv(dy, cand.into(), Operand::Imm(SEARCH as i64));
+        let dx = k.reg();
+        k.irem(dx, cand.into(), Operand::Imm(SEARCH as i64));
+        let mby = k.reg();
+        k.idiv(mby, mb.into(), Operand::Imm(mbs as i64));
+        let mbx = k.reg();
+        k.irem(mbx, mb.into(), Operand::Imm(mbs as i64));
+
+        let cx0 = k.reg();
+        k.imul(cx0, mbx.into(), Operand::Imm(MB as i64));
+        let cy0 = k.reg();
+        k.imul(cy0, mby.into(), Operand::Imm(MB as i64));
+
+        let sad = k.reg();
+        k.mov(sad, Operand::Imm(0));
+        k.for_range(Operand::Imm(0), Operand::Imm(MB as i64), |k, y| {
+            let cy = k.reg();
+            k.iadd(cy, cy0.into(), y.into());
+            let crow = k.reg();
+            k.imul(crow, cy.into(), Operand::Imm(frame_w as i64));
+            let ry = k.reg();
+            k.iadd(ry, cy.into(), dy.into());
+            let rrow = k.reg();
+            k.imul(rrow, ry.into(), Operand::Imm(frame_w as i64));
+            k.for_range(Operand::Imm(0), Operand::Imm(MB as i64), |k, x| {
+                let cx = k.reg();
+                k.iadd(cx, cx0.into(), x.into());
+                let ca = k.reg();
+                k.iadd(ca, crow.into(), cx.into());
+                k.imul(ca, ca.into(), Operand::Imm(4));
+                let cv = k.reg();
+                k.ld_global_u32(cv, ca, c_base as i64);
+                let rx = k.reg();
+                k.iadd(rx, cx.into(), dx.into());
+                let ra = k.reg();
+                k.iadd(ra, rrow.into(), rx.into());
+                k.imul(ra, ra.into(), Operand::Imm(4));
+                let rv = k.reg();
+                k.ld_global_u32(rv, ra, r_base as i64);
+                // |c - r| = max(c-r, r-c)
+                let d1 = k.reg();
+                k.isub(d1, cv.into(), rv.into());
+                let d2 = k.reg();
+                k.isub(d2, rv.into(), cv.into());
+                let ad = k.reg();
+                k.imax(ad, d1.into(), d2.into());
+                k.iadd(sad, sad.into(), ad.into());
+            });
+        });
+        let oa = k.reg();
+        k.imul(oa, tid.into(), Operand::Imm(4));
+        k.iadd(oa, oa.into(), Operand::Imm(o_base as i64));
+        k.st_global_u32(sad.into(), oa, 0);
+    });
+
+    KernelSpec {
+        name: "sad_K1",
+        suite: BenchSuite::Parboil,
+        program: k.finish(),
+        launch: LaunchConfig::new((total as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| check_i32_region(mem, o_base, &expect))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn sad_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+}

@@ -1,0 +1,109 @@
+//! **sgemm** (Parboil) — dense single-precision matrix multiply.
+//!
+//! Each thread computes one element of `C = A × B` with an FMA-chained
+//! inner product — the canonical FPU-dominated workload (it is one of the
+//! two lowest-arithmetic-intensity kernels in the paper's Fig. 1 only
+//! because the real Parboil run is memory-blocked; the operand streams
+//! are identical).
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+/// Builds the sgemm kernel for `m×k · k×n`.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let m = 16 * scale.factor() as usize;
+    let n = 32usize;
+    let kk = 24usize;
+
+    let mut rng = data::rng_for("sgemm");
+    let a = data::f32_vec(&mut rng, m * kk, -1.0, 1.0);
+    let b = data::f32_vec(&mut rng, kk * n, -1.0, 1.0);
+
+    // Layout: A | B | C.
+    let a_base = 0u64;
+    let b_base = (m * kk * 4) as u64;
+    let c_base = b_base + (kk * n * 4) as u64;
+    let mut memory = MemImage::new(c_base + (m * n * 4) as u64);
+    for (i, &v) in a.iter().enumerate() {
+        memory.write_f32(a_base + i as u64 * 4, v);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        memory.write_f32(b_base + i as u64 * 4, v);
+    }
+
+    // CPU reference.
+    let mut expect = vec![0.0f32; m * n];
+    for r in 0..m {
+        for c in 0..n {
+            let mut acc = 0.0f32;
+            for x in 0..kk {
+                acc = a[r * kk + x].mul_add(b[x * n + c], acc);
+            }
+            expect[r * n + c] = acc;
+        }
+    }
+
+    let total = (m * n) as u32;
+    let mut kb = KernelBuilder::new("sgemm");
+    let tid = kb.special(Special::GlobalTid);
+    let in_range = kb.reg();
+    kb.setlt(in_range, tid.into(), Operand::Imm(i64::from(total)));
+    kb.if_(in_range, |kb| {
+        let row = kb.reg();
+        kb.idiv(row, tid.into(), Operand::Imm(n as i64));
+        let col = kb.reg();
+        kb.irem(col, tid.into(), Operand::Imm(n as i64));
+        let acc = kb.reg();
+        kb.mov(acc, Operand::f32(0.0));
+        // A row base: a_base + row*kk*4
+        let arow = kb.reg();
+        kb.imul(arow, row.into(), Operand::Imm((kk * 4) as i64));
+        kb.iadd(arow, arow.into(), Operand::Imm(a_base as i64));
+        // B col base: b_base + col*4
+        let bcol = kb.reg();
+        kb.imul(bcol, col.into(), Operand::Imm(4));
+        kb.iadd(bcol, bcol.into(), Operand::Imm(b_base as i64));
+        kb.for_range(Operand::Imm(0), Operand::Imm(kk as i64), |kb, x| {
+            let aa = kb.reg();
+            kb.imul(aa, x.into(), Operand::Imm(4));
+            kb.iadd(aa, aa.into(), arow.into());
+            let av = kb.reg();
+            kb.ld_global_u32(av, aa, 0);
+            let ba = kb.reg();
+            kb.imul(ba, x.into(), Operand::Imm((n * 4) as i64));
+            kb.iadd(ba, ba.into(), bcol.into());
+            let bv = kb.reg();
+            kb.ld_global_u32(bv, ba, 0);
+            kb.fmad(acc, av.into(), bv.into(), acc.into());
+        });
+        let ca = kb.reg();
+        kb.imul(ca, tid.into(), Operand::Imm(4));
+        kb.iadd(ca, ca.into(), Operand::Imm(c_base as i64));
+        kb.st_global_u32(acc.into(), ca, 0);
+    });
+
+    KernelSpec {
+        name: "sgemm",
+        suite: BenchSuite::Parboil,
+        program: kb.finish(),
+        launch: LaunchConfig::new(total.div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, c_base, &expect, 1e-4)
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn sgemm_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+}

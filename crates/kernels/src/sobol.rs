@@ -1,0 +1,142 @@
+//! **sobolQrng** (CUDA Samples SobolQRNG).
+//!
+//! Gray-code Sobol sequence generation: point `n` of a dimension is the
+//! XOR of the direction vectors selected by the set bits of `gray(n)`.
+//! Like qrng_K1 this is integer/bit-manipulation work whose loop
+//! iterators and monotone indices are ideal spatio-temporal prediction
+//! targets.
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const DIMS: usize = 2;
+const VBITS: usize = 30;
+
+fn direction_vectors() -> Vec<u32> {
+    // Canonical first-dimension Sobol vectors v_j = 2^(31-j), second
+    // dimension from a primitive-polynomial recurrence (x² + x + 1).
+    let mut v = Vec::with_capacity(DIMS * VBITS);
+    for j in 0..VBITS {
+        v.push(1u32 << (31 - j));
+    }
+    let mut m = vec![1u32, 3];
+    for j in 2..VBITS {
+        let new = m[j - 1] ^ (m[j - 2] << 2) ^ (m[j - 2]);
+        m.push(new & ((1 << (j + 1)) - 1) | 1);
+    }
+    for (j, &mj) in m.iter().enumerate().take(VBITS) {
+        v.push(mj << (31 - j));
+    }
+    v
+}
+
+/// Builds the Sobol generation kernel.
+#[must_use]
+pub fn build(scale: Scale) -> KernelSpec {
+    let n = 512 * scale.factor() as usize;
+    let v = direction_vectors();
+    let _ = data::rng_for("sobol"); // inputs are fully deterministic
+
+    let v_base = 0u64;
+    let o_base = (v.len() * 4) as u64;
+    let mut memory = MemImage::new(o_base + (DIMS * n * 4) as u64);
+    for (i, &x) in v.iter().enumerate() {
+        memory.write_u32(i as u64 * 4, x);
+    }
+
+    let inv = 1.0f32 / 4_294_967_296.0f32; // 2^-32
+    let mut expect = vec![0.0f32; DIMS * n];
+    for d in 0..DIMS {
+        for i in 0..n {
+            let gray = (i ^ (i >> 1)) as u32;
+            let mut acc = 0u32;
+            for (j, &vj) in v[d * VBITS..(d + 1) * VBITS].iter().enumerate() {
+                if gray >> j & 1 != 0 {
+                    acc ^= vj;
+                }
+            }
+            expect[d * n + i] = acc as f32 * inv;
+        }
+    }
+
+    let mut k = KernelBuilder::new("sobolQrng");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm(n as i64));
+    k.if_(in_range, |k| {
+        // gray = tid ^ (tid >> 1)
+        let g = k.reg();
+        k.ishr(g, tid.into(), Operand::Imm(1));
+        k.ixor(g, g.into(), tid.into());
+        for d in 0..DIMS as i64 {
+            let acc = k.reg();
+            k.mov(acc, Operand::Imm(0));
+            let bits = k.reg();
+            k.mov(bits, g.into());
+            let j = k.reg();
+            k.mov(j, Operand::Imm(0));
+            k.while_(
+                |k| {
+                    let c = k.reg();
+                    k.setne(c, bits.into(), Operand::Imm(0));
+                    c
+                },
+                |k| {
+                    let low = k.reg();
+                    k.iand(low, bits.into(), Operand::Imm(1));
+                    k.if_(low, |k| {
+                        let va = k.reg();
+                        k.iadd(va, j.into(), Operand::Imm(d * VBITS as i64));
+                        k.imul(va, va.into(), Operand::Imm(4));
+                        let vv = k.reg();
+                        k.ld_global_u32(vv, va, v_base as i64);
+                        // Direction entries use bit 31: mask to u32.
+                        k.iand(vv, vv.into(), Operand::Imm(0xffff_ffff));
+                        k.ixor(acc, acc.into(), vv.into());
+                    });
+                    k.ishr(bits, bits.into(), Operand::Imm(1));
+                    k.iadd(j, j.into(), Operand::Imm(1));
+                },
+            );
+            let f = k.reg();
+            k.i2f(f, acc.into());
+            k.fmul(f, f.into(), Operand::f32(inv));
+            let oa = k.reg();
+            k.iadd(oa, tid.into(), Operand::Imm(d * n as i64));
+            k.imul(oa, oa.into(), Operand::Imm(4));
+            k.iadd(oa, oa.into(), Operand::Imm(o_base as i64));
+            k.st_global_u32(f.into(), oa, 0);
+        }
+    });
+
+    KernelSpec {
+        name: "sobolQrng",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new((n as u32).div_ceil(128), 128),
+        memory,
+        check: Some(Arc::new(move |mem| {
+            check_f32_region(mem, o_base, &expect, 1e-5)
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn sobol_matches_reference() {
+        run_and_verify(&build(Scale::Test));
+    }
+
+    #[test]
+    fn direction_vectors_have_top_bit_anchoring() {
+        let v = direction_vectors();
+        assert_eq!(v.len(), DIMS * VBITS);
+        assert_eq!(v[0], 1 << 31);
+    }
+}

@@ -1,0 +1,267 @@
+//! **sortNets_K1 / sortNets_K2** (CUDA Samples sortingNetworks).
+//!
+//! Bitonic sorting networks: K1 sorts one 2·BS-element tile per block in
+//! shared memory (the `bitonicSortShared` kernel); K2 performs one global
+//! compare-exchange stage of the large merge (`bitonicMergeGlobal`).
+//! Compare-exchanges are MIN/MAX pairs — subtract-comparisons on the ALU
+//! adder — plus heavy index bit-arithmetic.
+
+use crate::data;
+use crate::spec::{check_i32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Reg, Special};
+use std::sync::Arc;
+
+const BS: usize = 128; // threads per block; tile = 256 keys
+
+/// Scratch registers for a compare-exchange (allocated once, reused by
+/// every unrolled network stage).
+#[derive(Clone, Copy)]
+struct CeRegs {
+    a: Reg,
+    b: Reg,
+    lo: Reg,
+    hi: Reg,
+}
+
+impl CeRegs {
+    fn alloc(k: &mut KernelBuilder) -> Self {
+        CeRegs {
+            a: k.reg(),
+            b: k.reg(),
+            lo: k.reg(),
+            hi: k.reg(),
+        }
+    }
+}
+
+/// Emits a compare-exchange of shared slots `pa` and `pb` in direction
+/// `ddd` (register: 1 = ascending).
+fn compare_exchange_shared(k: &mut KernelBuilder, r: CeRegs, pa: Reg, pb: Reg, ddd: Reg) {
+    let CeRegs { a, b, lo, hi } = r;
+    k.ld_shared_u32(a, pa, 0);
+    k.ld_shared_u32(b, pb, 0);
+    k.imin(lo, a.into(), b.into());
+    k.imax(hi, a.into(), b.into());
+    k.if_else(
+        ddd,
+        |k| {
+            k.st_shared_u32(lo.into(), pa, 0);
+            k.st_shared_u32(hi.into(), pb, 0);
+        },
+        |k| {
+            k.st_shared_u32(hi.into(), pa, 0);
+            k.st_shared_u32(lo.into(), pb, 0);
+        },
+    );
+}
+
+/// Builds sortNets_K1: per-tile bitonic sort in shared memory.
+#[must_use]
+pub fn build_k1(scale: Scale) -> KernelSpec {
+    let tiles = 2 * scale.factor() as usize;
+    let n = tiles * 2 * BS;
+    let keys = data::i32_vec(&mut data::rng_for("sortnets1"), n, 0, 1 << 20);
+    let mut memory = MemImage::from_i32(&keys);
+    memory.ensure_len((n * 4) as u64);
+
+    // CPU reference: each tile ascending-sorted.
+    let mut expect: Vec<i64> = Vec::with_capacity(n);
+    for t in 0..tiles {
+        let mut tile: Vec<i64> = keys[t * 2 * BS..(t + 1) * 2 * BS]
+            .iter()
+            .map(|&x| i64::from(x))
+            .collect();
+        tile.sort_unstable();
+        expect.extend(tile);
+    }
+
+    let mut k = KernelBuilder::new("sortNets_K1");
+    let s_base = k.shared_alloc((2 * BS * 4) as u64);
+    let tid = k.special(Special::Tid);
+    let bx = k.special(Special::CtaId);
+    let tile_base = k.reg();
+    k.imul(tile_base, bx.into(), Operand::Imm((2 * BS * 4) as i64));
+
+    // Load two keys per thread.
+    for half in 0..2i64 {
+        let idx = k.reg();
+        k.iadd(idx, tid.into(), Operand::Imm(half * BS as i64));
+        let ga = k.reg();
+        k.imul(ga, idx.into(), Operand::Imm(4));
+        k.iadd(ga, ga.into(), tile_base.into());
+        let v = k.reg();
+        k.ld_global_u32(v, ga, 0);
+        let sa = k.reg();
+        k.imul(sa, idx.into(), Operand::Imm(4));
+        k.iadd(sa, sa.into(), Operand::Imm(s_base as i64));
+        k.st_shared_u32(v.into(), sa, 0);
+    }
+    k.bar();
+
+    // Bitonic network over 256 keys, with *runtime* size/stride loops —
+    // the compiled CUDA kernel keeps these rolled, so every stage repeats
+    // the same compare-exchange PCs (the repetition ST² learns from).
+    let total = (2 * BS) as i64;
+    let ce = CeRegs::alloc(&mut k);
+    let size = k.reg();
+    k.mov(size, Operand::Imm(2));
+    k.while_(
+        |k| {
+            let c = k.reg();
+            k.setle(c, size.into(), Operand::Imm(total));
+            c
+        },
+        |k| {
+            let half = k.reg();
+            k.ishr(half, size.into(), Operand::Imm(1));
+            let stride = k.reg();
+            k.mov(stride, half.into());
+            k.while_(
+                |k| {
+                    let c = k.reg();
+                    k.setle(c, Operand::Imm(1), stride.into());
+                    c
+                },
+                |k| {
+                    // pos = 2*tid - (tid & (stride-1))
+                    let pos = k.reg();
+                    k.imul(pos, tid.into(), Operand::Imm(2));
+                    let m = k.reg();
+                    k.isub(m, stride.into(), Operand::Imm(1));
+                    let low = k.reg();
+                    k.iand(low, tid.into(), m.into());
+                    k.isub(pos, pos.into(), low.into());
+                    let pa = k.reg();
+                    k.imul(pa, pos.into(), Operand::Imm(4));
+                    k.iadd(pa, pa.into(), Operand::Imm(s_base as i64));
+                    let pb = k.reg();
+                    k.imul(pb, stride.into(), Operand::Imm(4));
+                    k.iadd(pb, pb.into(), pa.into());
+                    // Ascending when (tid & size/2) == 0; the final merge
+                    // (size == total) has tid < size/2, so the same
+                    // expression covers it.
+                    let bit = k.reg();
+                    k.iand(bit, tid.into(), half.into());
+                    let ddd = k.reg();
+                    k.seteq(ddd, bit.into(), Operand::Imm(0));
+                    compare_exchange_shared(k, ce, pa, pb, ddd);
+                    k.bar();
+                    k.ishr(stride, stride.into(), Operand::Imm(1));
+                },
+            );
+            k.ishl(size, size.into(), Operand::Imm(1));
+        },
+    );
+
+    // Store back.
+    for half in 0..2i64 {
+        let idx = k.reg();
+        k.iadd(idx, tid.into(), Operand::Imm(half * BS as i64));
+        let sa = k.reg();
+        k.imul(sa, idx.into(), Operand::Imm(4));
+        k.iadd(sa, sa.into(), Operand::Imm(s_base as i64));
+        let v = k.reg();
+        k.ld_shared_u32(v, sa, 0);
+        let ga = k.reg();
+        k.imul(ga, idx.into(), Operand::Imm(4));
+        k.iadd(ga, ga.into(), tile_base.into());
+        k.st_global_u32(v.into(), ga, 0);
+    }
+
+    KernelSpec {
+        name: "sortNets_K1",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new(tiles as u32, BS as u32),
+        memory,
+        check: Some(Arc::new(move |mem| check_i32_region(mem, 0, &expect))),
+    }
+}
+
+/// Builds sortNets_K2: one global bitonic-merge stage.
+#[must_use]
+pub fn build_k2(scale: Scale) -> KernelSpec {
+    let n = 1024 * scale.factor() as usize;
+    let size = n; // merging the full array
+    let stride = n / 4;
+    let keys = data::i32_vec(&mut data::rng_for("sortnets2"), n, 0, 1 << 20);
+    let memory = MemImage::from_i32(&keys);
+
+    // CPU reference for the single stage.
+    let mut expect: Vec<i64> = keys.iter().map(|&x| i64::from(x)).collect();
+    for t in 0..n / 2 {
+        let pos = 2 * t - (t & (stride - 1));
+        let ddd = (t & (size / 2)) == 0;
+        let (a, b) = (expect[pos], expect[pos + stride]);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if ddd {
+            expect[pos] = lo;
+            expect[pos + stride] = hi;
+        } else {
+            expect[pos] = hi;
+            expect[pos + stride] = lo;
+        }
+    }
+
+    let mut k = KernelBuilder::new("sortNets_K2");
+    let tid = k.special(Special::GlobalTid);
+    let in_range = k.reg();
+    k.setlt(in_range, tid.into(), Operand::Imm((n / 2) as i64));
+    k.if_(in_range, |k| {
+        let pos = k.reg();
+        k.imul(pos, tid.into(), Operand::Imm(2));
+        let low = k.reg();
+        k.iand(low, tid.into(), Operand::Imm((stride - 1) as i64));
+        k.isub(pos, pos.into(), low.into());
+        let pa = k.reg();
+        k.imul(pa, pos.into(), Operand::Imm(4));
+        let a = k.reg();
+        k.ld_global_u32(a, pa, 0);
+        let b = k.reg();
+        k.ld_global_u32(b, pa, (stride * 4) as i64);
+        let lo = k.reg();
+        k.imin(lo, a.into(), b.into());
+        let hi = k.reg();
+        k.imax(hi, a.into(), b.into());
+        let bit = k.reg();
+        k.iand(bit, tid.into(), Operand::Imm((size / 2) as i64));
+        let ddd = k.reg();
+        k.seteq(ddd, bit.into(), Operand::Imm(0));
+        k.if_else(
+            ddd,
+            |k| {
+                k.st_global_u32(lo.into(), pa, 0);
+                k.st_global_u32(hi.into(), pa, (stride * 4) as i64);
+            },
+            |k| {
+                k.st_global_u32(hi.into(), pa, 0);
+                k.st_global_u32(lo.into(), pa, (stride * 4) as i64);
+            },
+        );
+    });
+
+    KernelSpec {
+        name: "sortNets_K2",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new((n as u32 / 2).div_ceil(BS as u32), BS as u32),
+        memory,
+        check: Some(Arc::new(move |mem| check_i32_region(mem, 0, &expect))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn sortnets_k1_sorts_tiles() {
+        run_and_verify(&build_k1(Scale::Test));
+    }
+
+    #[test]
+    fn sortnets_k2_matches_stage_reference() {
+        run_and_verify(&build_k2(Scale::Test));
+    }
+}

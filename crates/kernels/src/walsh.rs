@@ -1,0 +1,227 @@
+//! **walsh_K1 / walsh_K2** (CUDA Samples fastWalshTransform).
+//!
+//! The fast Walsh–Hadamard transform as the CUDA sample structures it:
+//! K1 performs the low-stride butterfly stages inside shared memory (one
+//! block per 2·BS-element tile, barrier between stages); K2 performs one
+//! high-stride global-memory stage. Butterflies are pure FADD/FSUB pairs
+//! plus index arithmetic — the FPU-add-dominated end of Fig. 1.
+
+use crate::data;
+use crate::spec::{check_f32_region, BenchSuite, KernelSpec, Scale};
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use std::sync::Arc;
+
+const BS: usize = 128; // threads per block; tile = 256 elements
+
+/// One CPU butterfly stage with `stride` on `data`.
+fn cpu_stage(data: &mut [f32], stride: usize) {
+    let n = data.len();
+    for i in 0..n / 2 {
+        let pos = (i / stride) * stride * 2 + i % stride;
+        let (a, b) = (data[pos], data[pos + stride]);
+        data[pos] = a + b;
+        data[pos + stride] = a - b;
+    }
+}
+
+fn input(scale: Scale, tag: &str) -> Vec<f32> {
+    let n = 2 * BS * 2 * scale.factor() as usize; // tiles × 256
+    data::f32_vec(&mut data::rng_for(tag), n, -4.0, 4.0)
+}
+
+/// Builds walsh_K1 (shared-memory per-tile FWT over all low strides).
+#[must_use]
+pub fn build_k1(scale: Scale) -> KernelSpec {
+    let src = input(scale, "walsh1");
+    let n = src.len();
+    let tiles = n / (2 * BS);
+    let memory = MemImage::from_f32(&src);
+
+    // CPU reference: full FWT within each 256-element tile.
+    let mut expect = src.clone();
+    for t in 0..tiles {
+        let tile = &mut expect[t * 2 * BS..(t + 1) * 2 * BS];
+        let mut stride = 1;
+        while stride < 2 * BS {
+            cpu_stage(tile, stride);
+            stride *= 2;
+        }
+    }
+
+    let mut k = KernelBuilder::new("walsh_K1");
+    let s_base = k.shared_alloc((2 * BS * 4) as u64);
+    let tid = k.special(Special::Tid);
+    let bx = k.special(Special::CtaId);
+    let tile_base = k.reg();
+    k.imul(tile_base, bx.into(), Operand::Imm((2 * BS * 4) as i64));
+
+    // Load 2 elements per thread into shared.
+    for half in 0..2i64 {
+        let idx = k.reg();
+        k.iadd(idx, tid.into(), Operand::Imm(half * BS as i64));
+        let ga = k.reg();
+        k.imul(ga, idx.into(), Operand::Imm(4));
+        k.iadd(ga, ga.into(), tile_base.into());
+        let v = k.reg();
+        k.ld_global_u32(v, ga, 0);
+        let sa = k.reg();
+        k.imul(sa, idx.into(), Operand::Imm(4));
+        k.iadd(sa, sa.into(), Operand::Imm(s_base as i64));
+        k.st_shared_u32(v.into(), sa, 0);
+    }
+    k.bar();
+
+    // log2(256) = 8 stages with a *runtime* stride loop — compiled CUDA
+    // keeps this loop rolled, so each stage re-executes the same PCs,
+    // which is exactly the temporal repetition ST² feeds on.
+    let stride = k.reg();
+    k.mov(stride, Operand::Imm(1));
+    k.while_(
+        |k| {
+            let c = k.reg();
+            k.setlt(c, stride.into(), Operand::Imm((2 * BS) as i64));
+            c
+        },
+        |k| {
+            // pos = (tid / stride)*stride*2 + tid % stride
+            let q = k.reg();
+            k.idiv(q, tid.into(), stride.into());
+            let r = k.reg();
+            k.irem(r, tid.into(), stride.into());
+            let pos = k.reg();
+            k.imul(pos, q.into(), stride.into());
+            k.imul(pos, pos.into(), Operand::Imm(2));
+            k.iadd(pos, pos.into(), r.into());
+            let pa = k.reg();
+            k.imul(pa, pos.into(), Operand::Imm(4));
+            k.iadd(pa, pa.into(), Operand::Imm(s_base as i64));
+            let pb = k.reg();
+            k.iadd(pb, pos.into(), stride.into());
+            k.imul(pb, pb.into(), Operand::Imm(4));
+            k.iadd(pb, pb.into(), Operand::Imm(s_base as i64));
+            let a = k.reg();
+            k.ld_shared_u32(a, pa, 0);
+            let b = k.reg();
+            k.ld_shared_u32(b, pb, 0);
+            let sum = k.reg();
+            k.fadd(sum, a.into(), b.into());
+            let diff = k.reg();
+            k.fsub(diff, a.into(), b.into());
+            k.st_shared_u32(sum.into(), pa, 0);
+            k.st_shared_u32(diff.into(), pb, 0);
+            k.bar();
+            k.ishl(stride, stride.into(), Operand::Imm(1));
+        },
+    );
+
+    // Store back.
+    for half in 0..2i64 {
+        let idx = k.reg();
+        k.iadd(idx, tid.into(), Operand::Imm(half * BS as i64));
+        let sa = k.reg();
+        k.imul(sa, idx.into(), Operand::Imm(4));
+        k.iadd(sa, sa.into(), Operand::Imm(s_base as i64));
+        let v = k.reg();
+        k.ld_shared_u32(v, sa, 0);
+        let ga = k.reg();
+        k.imul(ga, idx.into(), Operand::Imm(4));
+        k.iadd(ga, ga.into(), tile_base.into());
+        k.st_global_u32(v.into(), ga, 0);
+    }
+
+    KernelSpec {
+        name: "walsh_K1",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch: LaunchConfig::new(tiles as u32, BS as u32),
+        memory,
+        check: Some(Arc::new(move |mem| check_f32_region(mem, 0, &expect, 1e-3))),
+    }
+}
+
+/// Builds walsh_K2 (one global butterfly stage at a large stride).
+#[must_use]
+pub fn build_k2(scale: Scale) -> KernelSpec {
+    let src = input(scale, "walsh2");
+    let n = src.len();
+    let stride = n / 4;
+    let memory = MemImage::from_f32(&src);
+
+    let mut expect = src;
+    cpu_stage(&mut expect, stride);
+
+    // Grid-stride launch: each thread walks several butterflies, as the
+    // CUDA sample's fwtBatch2Kernel does.
+    let launch = LaunchConfig::new((n as u32 / 8).div_ceil(BS as u32).max(1), BS as u32);
+    let total_threads = launch.total_threads() as i64;
+
+    let mut k = KernelBuilder::new("walsh_K2");
+    let tid = k.special(Special::GlobalTid);
+    let i = k.reg();
+    k.mov(i, tid.into());
+    k.while_(
+        |k| {
+            let c = k.reg();
+            k.setlt(c, i.into(), Operand::Imm((n / 2) as i64));
+            c
+        },
+        |k| {
+            let q = k.reg();
+            k.idiv(q, i.into(), Operand::Imm(stride as i64));
+            let r = k.reg();
+            k.irem(r, i.into(), Operand::Imm(stride as i64));
+            let pos = k.reg();
+            k.imul(pos, q.into(), Operand::Imm((stride * 2) as i64));
+            k.iadd(pos, pos.into(), r.into());
+            let pa = k.reg();
+            k.imul(pa, pos.into(), Operand::Imm(4));
+            let a = k.reg();
+            k.ld_global_u32(a, pa, 0);
+            let b = k.reg();
+            k.ld_global_u32(b, pa, (stride * 4) as i64);
+            let sum = k.reg();
+            k.fadd(sum, a.into(), b.into());
+            let diff = k.reg();
+            k.fsub(diff, a.into(), b.into());
+            k.st_global_u32(sum.into(), pa, 0);
+            k.st_global_u32(diff.into(), pa, (stride * 4) as i64);
+            k.iadd(i, i.into(), Operand::Imm(total_threads));
+        },
+    );
+
+    KernelSpec {
+        name: "walsh_K2",
+        suite: BenchSuite::CudaSamples,
+        program: k.finish(),
+        launch,
+        memory,
+        check: Some(Arc::new(move |mem| check_f32_region(mem, 0, &expect, 1e-4))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+
+    #[test]
+    fn walsh_k1_matches_reference() {
+        run_and_verify(&build_k1(Scale::Test));
+    }
+
+    #[test]
+    fn walsh_k2_matches_reference() {
+        run_and_verify(&build_k2(Scale::Test));
+    }
+
+    #[test]
+    fn cpu_stage_is_involutive_up_to_scale() {
+        // FWT applied twice = N × identity (sanity of the reference).
+        let mut d = vec![1.0, 2.0, 3.0, 4.0];
+        cpu_stage(&mut d, 1);
+        cpu_stage(&mut d, 2);
+        cpu_stage(&mut d, 1);
+        cpu_stage(&mut d, 2);
+        assert_eq!(d, vec![4.0, 8.0, 12.0, 16.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Suite-level determinism and scale tests.
+
+use st2_kernels::{suite, Scale};
+use st2_sim::{run_functional, FunctionalOptions};
+
+#[test]
+fn kernel_builds_are_bit_deterministic() {
+    // Two independent builds of the same kernel produce identical
+    // programs and identical initial memory — the foundation of
+    // reproducible experiments.
+    for (a, b) in suite(Scale::Test).iter().zip(suite(Scale::Test).iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.program.len(), b.program.len());
+        assert_eq!(a.memory.as_bytes(), b.memory.as_bytes(), "{}", a.name);
+        assert_eq!(a.launch, b.launch);
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    for spec in suite(Scale::Test).into_iter().take(6) {
+        let mut m1 = spec.memory.clone();
+        let o1 = run_functional(
+            &spec.program,
+            spec.launch,
+            &mut m1,
+            &FunctionalOptions::default(),
+        );
+        let mut m2 = spec.memory.clone();
+        let o2 = run_functional(
+            &spec.program,
+            spec.launch,
+            &mut m2,
+            &FunctionalOptions::default(),
+        );
+        assert_eq!(m1.as_bytes(), m2.as_bytes(), "{}", spec.name);
+        assert_eq!(o1.mix, o2.mix, "{}", spec.name);
+    }
+}
+
+#[test]
+fn full_scale_kernels_still_verify() {
+    // The harness scale: larger grids, same algorithms, same checkers.
+    // (A sample — the whole suite at full scale is exercised by the
+    // fig binaries.)
+    for spec in [
+        st2_kernels::pathfinder::build(Scale::Full),
+        st2_kernels::mergesort::build_k2(Scale::Full),
+        st2_kernels::sgemm::build(Scale::Full),
+        st2_kernels::qrng::build_k1(Scale::Full),
+    ] {
+        let mut mem = spec.memory.clone();
+        let out = run_functional(
+            &spec.program,
+            spec.launch,
+            &mut mem,
+            &FunctionalOptions::default(),
+        );
+        spec.verify(&mem)
+            .unwrap_or_else(|e| panic!("{} failed at full scale: {e}", spec.name));
+        assert!(out.mix.total() > 10_000, "{} too small at full scale", spec.name);
+    }
+}
+
+#[test]
+fn full_scale_is_larger_than_test_scale() {
+    for (t, f) in suite(Scale::Test).iter().zip(suite(Scale::Full).iter()) {
+        assert!(
+            f.launch.total_threads() >= t.launch.total_threads(),
+            "{}: full scale should not shrink the launch",
+            t.name
+        );
+        assert!(f.memory.len() >= t.memory.len(), "{}", t.name);
+    }
+}
+
+#[test]
+fn adder_record_collection_is_stable() {
+    let spec = st2_kernels::sad::build(Scale::Test);
+    let collect = || {
+        let mut mem = spec.memory.clone();
+        run_functional(
+            &spec.program,
+            spec.launch,
+            &mut mem,
+            &FunctionalOptions {
+                collect_records: true,
+                ..Default::default()
+            },
+        )
+        .records
+    };
+    let r1 = collect();
+    let r2 = collect();
+    assert_eq!(r1.len(), r2.len());
+    assert_eq!(r1.first(), r2.first());
+    assert_eq!(r1.last(), r2.last());
+}

@@ -1,0 +1,78 @@
+//! Calibration: fit the Eq. 1 scale factors from the stressor suite.
+
+use crate::component::NUM_COMPONENTS;
+use crate::energy::EnergyModel;
+use crate::micro::Stressor;
+use crate::model::PowerModel;
+use crate::oracle::SiliconOracle;
+use crate::solver::least_squares;
+
+/// Fits a [`PowerModel`] from stressor runs against oracle measurements.
+///
+/// The design matrix has one row per stressor: the nine per-component
+/// dynamic powers, a constant-1 column (for `P_const`) and the average
+/// idle-SM count (for `P_idleSM`).
+///
+/// # Panics
+///
+/// Panics if fewer stressors than unknowns are provided.
+#[must_use]
+pub fn calibrate(
+    energy: &EnergyModel,
+    stressors: &[Stressor],
+    oracle: &mut SiliconOracle,
+    clock_ghz: f64,
+) -> PowerModel {
+    let mut a = Vec::with_capacity(stressors.len());
+    let mut b = Vec::with_capacity(stressors.len());
+    for s in stressors {
+        let comps = energy.component_energy(&s.activity, false, clock_ghz);
+        let seconds = s.activity.cycles as f64 / (clock_ghz * 1e9);
+        let mut row: Vec<f64> = comps.as_array().iter().map(|e| e / seconds).collect();
+        row.push(1.0); // P_const column
+        row.push(PowerModel::avg_idle_sms(&s.activity)); // P_idleSM column
+        a.push(row);
+        b.push(oracle.measure(energy, &comps, &s.activity, clock_ghz));
+    }
+    let x = least_squares(&a, &b);
+    let mut scales = [0.0; NUM_COMPONENTS];
+    scales.copy_from_slice(&x[..NUM_COMPONENTS]);
+    PowerModel {
+        p_const_w: x[NUM_COMPONENTS],
+        p_idle_sm_w: x[NUM_COMPONENTS + 1],
+        scales,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::stressors;
+
+    #[test]
+    fn recovers_ground_truth_without_noise() {
+        let energy = EnergyModel::characterized();
+        let mut oracle = SiliconOracle::new(11, 0.0);
+        let truth = oracle.ground_truth().clone();
+        let fit = calibrate(&energy, &stressors(), &mut oracle, 1.2);
+        for (f, t) in fit.scales.iter().zip(truth.scales.iter()) {
+            assert!((f - t).abs() < 1e-6, "scale {f} vs truth {t}");
+        }
+        assert!((fit.p_const_w - truth.p_const_w).abs() < 1e-4);
+        assert!((fit.p_idle_sm_w - truth.p_idle_sm_w).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noisy_calibration_is_close() {
+        let energy = EnergyModel::characterized();
+        let mut oracle = SiliconOracle::new(12, 0.05);
+        let truth = oracle.ground_truth().clone();
+        let fit = calibrate(&energy, &stressors(), &mut oracle, 1.2);
+        for (f, t) in fit.scales.iter().zip(truth.scales.iter()) {
+            assert!(
+                (f - t).abs() / t < 0.25,
+                "scale {f} too far from truth {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Validation of the calibrated power model on the kernel suite
+//! (which the calibration never saw), reproducing §V-C's accuracy study.
+
+use crate::energy::EnergyModel;
+use crate::model::PowerModel;
+use crate::oracle::SiliconOracle;
+use crate::solver::{mean_absolute_relative_error, pearson_r};
+use serde::{Deserialize, Serialize};
+use st2_sim::ActivityCounters;
+
+/// The validation report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Mean absolute relative error (paper: 10.5 %).
+    pub mare: f64,
+    /// Half-width of the 95 % confidence interval on the per-kernel
+    /// absolute relative error (paper: ±3.8 %).
+    pub ci95: f64,
+    /// Pearson correlation between modelled and measured power
+    /// (paper: ≈ 0.8).
+    pub pearson_r: f64,
+    /// Kernels validated.
+    pub kernels: usize,
+}
+
+/// Runs the validation: model the power of each kernel run, "measure" it
+/// on the oracle, and compare.
+///
+/// # Panics
+///
+/// Panics if fewer than two runs are given.
+#[must_use]
+pub fn validate(
+    energy: &EnergyModel,
+    model: &PowerModel,
+    runs: &[(&str, ActivityCounters)],
+    oracle: &mut SiliconOracle,
+    clock_ghz: f64,
+) -> ValidationReport {
+    assert!(runs.len() >= 2, "need at least two validation kernels");
+    let mut predicted = Vec::with_capacity(runs.len());
+    let mut measured = Vec::with_capacity(runs.len());
+    for (_, act) in runs {
+        let comps = energy.component_energy(act, false, clock_ghz);
+        predicted.push(model.total_power_w(&comps, act, clock_ghz));
+        measured.push(oracle.measure(energy, &comps, act, clock_ghz));
+    }
+    let errors: Vec<f64> = predicted
+        .iter()
+        .zip(&measured)
+        .map(|(p, m)| ((p - m) / m).abs())
+        .collect();
+    let mare = mean_absolute_relative_error(&predicted, &measured);
+    let n = errors.len() as f64;
+    let var = errors.iter().map(|e| (e - mare) * (e - mare)).sum::<f64>() / (n - 1.0);
+    let ci95 = 1.96 * (var / n).sqrt();
+    ValidationReport {
+        mare,
+        ci95,
+        pearson_r: pearson_r(&predicted, &measured),
+        kernels: runs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use crate::micro::stressors;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic kernel-like activity (mixed whole-chip profile, unlike
+    /// the single-component stressors).
+    fn fake_kernels(n: usize) -> Vec<(&'static str, ActivityCounters)> {
+        const P: u64 = 80 * 24; // whole-chip parallelism
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..n)
+            .map(|_| {
+                let cycles = rng.random_range(300_000..2_000_000u64);
+                // Kernels span a wide utilisation range (idle-ish to
+                // blazing), like the real suite's 60–200 W spread.
+                let util = rng.random_range(1..60u64);
+                let mut act = ActivityCounters {
+                    cycles,
+                    active_sm_cycles: cycles * 80,
+                    idle_sm_cycles: rng.random_range(0..cycles * 20),
+                    warp_instructions: cycles * P * util / 320,
+                    regfile_reads: cycles * P * util / 8 * rng.random_range(1..6),
+                    regfile_writes: cycles * P * util / 16,
+                    adder_int_ops: cycles * P * util / 8 * rng.random_range(1..10),
+                    l1_accesses: cycles * P * util / rng.random_range(500..5_000),
+                    dram_accesses: cycles * P * util / rng.random_range(5_000..50_000),
+                    noc_flits: cycles * P * util / rng.random_range(1_000..10_000),
+                    ..Default::default()
+                };
+                act.mix.add(st2_isa::InstClass::AluAdd, act.adder_int_ops / 2);
+                act.mix.add(st2_isa::InstClass::Mem, cycles * P * util / 3_200);
+                ("fake", act)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validation_error_tracks_measurement_noise() {
+        let energy = EnergyModel::characterized();
+        let sigma = 0.08;
+        let mut oracle = SiliconOracle::new(5, sigma);
+        let model = calibrate(&energy, &stressors(), &mut oracle, 1.2);
+        let report = validate(&energy, &model, &fake_kernels(23), &mut oracle, 1.2);
+        // The model is structurally exact here, so validation error is
+        // dominated by measurement noise: same order as sigma.
+        assert!(
+            report.mare < 3.0 * sigma,
+            "MARE {} should be near the noise level {sigma}",
+            report.mare
+        );
+        assert!(
+            report.pearson_r > 0.7,
+            "power model should correlate strongly, r = {}",
+            report.pearson_r
+        );
+        assert_eq!(report.kernels, 23);
+        assert!(report.ci95 > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Power model against *real* simulated kernels (not synthetic
+//! activities): breakdown consistency, extrapolation linearity, and the
+//! adder-energy mechanism.
+
+use st2_kernels::Scale;
+use st2_power::breakdown::summarize;
+use st2_power::{Component, EnergyModel, KernelEnergy};
+use st2_sim::{run_timed, GpuConfig};
+
+fn kernel_energy(spec: &st2_kernels::KernelSpec, energy: &EnergyModel) -> KernelEnergy {
+    let cfg = GpuConfig::scaled(2);
+    let mut m1 = spec.memory.clone();
+    let base = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
+    let mut m2 = spec.memory.clone();
+    let st2 = run_timed(&spec.program, spec.launch, &mut m2, &cfg.with_st2());
+    KernelEnergy::from_activities(spec.name, energy, &base.activity, &st2.activity, cfg.clock_ghz)
+}
+
+#[test]
+fn component_stacks_are_well_formed() {
+    let energy = EnergyModel::characterized();
+    for spec in [
+        st2_kernels::pathfinder::build(Scale::Test),
+        st2_kernels::histogram::build(Scale::Test),
+        st2_kernels::mriq::build(Scale::Test),
+    ] {
+        let k = kernel_energy(&spec, &energy);
+        let stacks = k.stacks();
+        let base_total: f64 = stacks.iter().map(|(_, b, _)| b).sum();
+        assert!((base_total - 1.0).abs() < 1e-9, "{}: stack sums to 1", k.name);
+        for (c, b, s) in &stacks {
+            assert!(*b >= 0.0 && *s >= 0.0, "{}: negative {c} share", k.name);
+        }
+        // Savings come only from ALU+FPU (plus the static share of the
+        // tiny slowdown in Others).
+        assert!(
+            k.st2.get(Component::AluFpu) < k.baseline.get(Component::AluFpu),
+            "{}: ST2 must shrink the adder component",
+            k.name
+        );
+        assert_eq!(
+            k.st2.get(Component::Dram),
+            k.baseline.get(Component::Dram),
+            "{}: DRAM untouched",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn adder_component_savings_match_the_70_percent_claim() {
+    // On integer-add-dominated kernels, the ALU+FPU component alone
+    // should shrink by roughly the paper's 70 % adder-power figure.
+    let energy = EnergyModel::characterized();
+    let spec = st2_kernels::sad::build(Scale::Test);
+    let k = kernel_energy(&spec, &energy);
+    let saving = 1.0 - k.st2.get(Component::AluFpu) / k.baseline.get(Component::AluFpu);
+    assert!(
+        (0.5..0.9).contains(&saving),
+        "adder-component saving {saving:.3} outside the paper's band"
+    );
+}
+
+#[test]
+fn extrapolation_is_linear_in_events() {
+    let energy = EnergyModel::characterized();
+    let cfg = GpuConfig::scaled(2);
+    let spec = st2_kernels::kmeans::build(Scale::Test);
+    let mut mem = spec.memory.clone();
+    let out = run_timed(&spec.program, spec.launch, &mut mem, &cfg);
+    let e1 = energy.component_energy(&out.activity, false, cfg.clock_ghz);
+    let e10 = energy.component_energy(&out.activity.extrapolated(10, 1), false, cfg.clock_ghz);
+    for c in st2_power::component::all_components() {
+        let ratio = if e1.get(c) > 0.0 { e10.get(c) / e1.get(c) } else { 10.0 };
+        assert!(
+            (ratio - 10.0).abs() < 1e-6,
+            "{c}: extrapolation not linear (ratio {ratio})"
+        );
+    }
+    // Wall-clock time (and hence nothing time-derived) changes.
+    assert_eq!(out.activity.cycles, out.activity.extrapolated(10, 1).cycles);
+}
+
+#[test]
+fn suite_summary_on_a_kernel_sample() {
+    let energy = EnergyModel::characterized();
+    let kernels: Vec<KernelEnergy> = [
+        st2_kernels::sad::build(Scale::Test),
+        st2_kernels::sobol::build(Scale::Test),
+        st2_kernels::histogram::build(Scale::Test),
+        st2_kernels::binomial::build(Scale::Test),
+    ]
+    .iter()
+    .map(|s| kernel_energy(s, &energy))
+    .collect();
+    let s = summarize(&kernels);
+    assert_eq!(s.kernels, 4);
+    assert!(s.avg_system_savings > 0.0);
+    assert!(s.avg_chip_savings >= s.avg_system_savings);
+    assert!(s.max_system_savings <= 1.0);
+    // sad/sobol are arithmetic-intense; histo/binomial are memory-bound.
+    assert!(s.intense_kernels >= 1 && s.intense_kernels <= 3);
+    assert!(s.intense_avg_system_savings >= s.avg_system_savings - 1e-9);
+}

@@ -1,0 +1,194 @@
+//! GPU configuration (TITAN V Volta-like defaults).
+
+use serde::{Deserialize, Serialize};
+use st2_core::SpeculationConfig;
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerKind {
+    /// Greedy-then-oldest: keep issuing the last warp while it is ready,
+    /// else fall back to the oldest ready warp (GPGPU-Sim's GTO, the
+    /// usual best performer).
+    #[default]
+    Gto,
+    /// Loose round-robin: rotate priority across resident warps.
+    RoundRobin,
+}
+
+/// Functional-unit and memory latencies (cycles) and pool sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors simulated. The full TITAN V has 80; the
+    /// harness typically simulates fewer SMs with a proportionally smaller
+    /// grid — energy results are normalised so the shape is preserved.
+    pub num_sms: u32,
+    /// Max resident warps per SM (Volta: 64).
+    pub max_warps_per_sm: u32,
+    /// Max resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Instructions issued per SM per cycle (4 sub-schedulers).
+    pub issue_width: u32,
+
+    /// ALU pipelines per SM (warp-wide issue slots).
+    pub alu_pipes: u32,
+    /// FPU pipelines per SM.
+    pub fpu_pipes: u32,
+    /// DPU pipelines per SM.
+    pub dpu_pipes: u32,
+    /// Integer/FP multiply-divide pipelines per SM.
+    pub muldiv_pipes: u32,
+    /// SFU pipelines per SM.
+    pub sfu_pipes: u32,
+    /// LD/ST ports per SM.
+    pub ldst_pipes: u32,
+
+    /// ALU result latency.
+    pub alu_latency: u32,
+    /// FPU result latency.
+    pub fpu_latency: u32,
+    /// DPU result latency.
+    pub dpu_latency: u32,
+    /// Multiplier latency.
+    pub mul_latency: u32,
+    /// Divider latency (iterative).
+    pub div_latency: u32,
+    /// SFU latency.
+    pub sfu_latency: u32,
+    /// SFU issue interval (throughput ratio).
+    pub sfu_interval: u32,
+    /// Shared-memory access latency.
+    pub shared_latency: u32,
+
+    /// L1 data cache size per SM (bytes).
+    pub l1_bytes: u64,
+    /// L1 line size.
+    pub l1_line: u64,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// L1 hit latency.
+    pub l1_latency: u32,
+    /// L2 total size (bytes).
+    pub l2_bytes: u64,
+    /// L2 line size.
+    pub l2_line: u64,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L2 hit latency.
+    pub l2_latency: u32,
+    /// DRAM latency.
+    pub dram_latency: u32,
+
+    /// Core clock (GHz) — converts cycles to seconds for power.
+    pub clock_ghz: f64,
+
+    /// Warp scheduling policy.
+    pub scheduler: SchedulerKind,
+
+    /// ST² speculation in the execute stage; `None` = baseline fixed-
+    /// latency adders.
+    pub speculation: Option<SpeculationConfig>,
+}
+
+impl GpuConfig {
+    /// A TITAN V-like configuration at full scale (80 SMs).
+    #[must_use]
+    pub fn titan_v() -> Self {
+        GpuConfig {
+            num_sms: 80,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            issue_width: 4,
+            alu_pipes: 4,
+            fpu_pipes: 4,
+            dpu_pipes: 2,
+            muldiv_pipes: 2,
+            sfu_pipes: 1,
+            ldst_pipes: 2,
+            alu_latency: 4,
+            fpu_latency: 4,
+            dpu_latency: 8,
+            mul_latency: 5,
+            div_latency: 24,
+            sfu_latency: 16,
+            sfu_interval: 4,
+            shared_latency: 24,
+            l1_bytes: 128 * 1024,
+            l1_line: 128,
+            l1_assoc: 4,
+            l1_latency: 28,
+            l2_bytes: 4608 * 1024,
+            l2_line: 128,
+            l2_assoc: 16,
+            l2_latency: 190,
+            dram_latency: 420,
+            clock_ghz: 1.2,
+            scheduler: SchedulerKind::Gto,
+            speculation: None,
+        }
+    }
+
+    /// A scaled-down simulation target (`sms` SMs, same per-SM shape,
+    /// proportional L2).
+    #[must_use]
+    pub fn scaled(sms: u32) -> Self {
+        let full = Self::titan_v();
+        GpuConfig {
+            num_sms: sms.max(1),
+            l2_bytes: (full.l2_bytes * u64::from(sms.max(1)) / 80).max(64 * 1024),
+            ..full
+        }
+    }
+
+    /// Enables ST² speculative adders with the given configuration.
+    #[must_use]
+    pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
+        self.speculation = Some(spec);
+        self
+    }
+
+    /// Enables the paper's final ST² design.
+    #[must_use]
+    pub fn with_st2(self) -> Self {
+        self.with_speculation(SpeculationConfig::st2())
+    }
+
+    /// Selects the warp scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::scaled(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_shape() {
+        let c = GpuConfig::titan_v();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.max_warps_per_sm, 64);
+        assert!(c.speculation.is_none());
+    }
+
+    #[test]
+    fn scaled_keeps_per_sm_shape() {
+        let c = GpuConfig::scaled(4);
+        assert_eq!(c.num_sms, 4);
+        assert_eq!(c.alu_pipes, GpuConfig::titan_v().alu_pipes);
+        assert!(c.l2_bytes < GpuConfig::titan_v().l2_bytes);
+    }
+
+    #[test]
+    fn st2_toggle() {
+        let c = GpuConfig::scaled(2).with_st2();
+        assert_eq!(c.speculation, Some(SpeculationConfig::st2()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # Cycle-level SIMT GPU simulator (GPGPU-Sim substitute)
+//!
+//! Executes kernels written in the [`st2_isa`] mini-ISA on a Volta-like
+//! GPU model: streaming multiprocessors with resident warps, a
+//! greedy-then-oldest scheduler, a register scoreboard, functional-unit
+//! pools (ALU / FPU / DPU / SFU / LD-ST / MUL-DIV), an L1/L2/DRAM memory
+//! hierarchy with warp-level coalescing, and — the point of the exercise —
+//! **ST² variable-latency speculative adders** wired into the execute
+//! stage with a per-SM Carry Register File.
+//!
+//! Two execution modes share one functional core ([`exec`]):
+//!
+//! * [`engine::run_functional`] — fast warp-lockstep execution producing
+//!   dynamic instruction mixes (Fig. 1), [`st2_core::AddRecord`] streams
+//!   for the design-space exploration (Figs. 3 and 5), and value traces
+//!   (Fig. 2).
+//! * [`timed::run_timed`] — a cycle-level model producing execution time
+//!   (the §VI performance-overhead study) and the per-component activity
+//!   counts the power model consumes (Fig. 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod memory;
+pub mod simt;
+pub mod stats;
+pub mod timed;
+pub mod trace;
+
+pub use config::{GpuConfig, SchedulerKind};
+pub use engine::{run_functional, FunctionalOptions, FunctionalOutput};
+pub use stats::{ActivityCounters, InstMix, SimStats};
+pub use timed::{run_timed, TimedOutput};
+pub use trace::ValueTrace;

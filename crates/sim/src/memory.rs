@@ -1,0 +1,248 @@
+//! Memory hierarchy: per-SM L1 caches, a shared L2, DRAM, and the warp
+//! coalescer.
+
+use crate::config::GpuConfig;
+use crate::stats::ActivityCounters;
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// `sets[s]` is the MRU-ordered tag list of set `s`.
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line: u64,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity with `line`-byte lines and
+    /// `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (fewer than one set).
+    #[must_use]
+    pub fn new(bytes: u64, line: u64, assoc: u32) -> Self {
+        let assoc = assoc.max(1) as usize;
+        let lines = (bytes / line).max(1);
+        let sets = (lines as usize / assoc).max(1).next_power_of_two();
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); sets],
+            assoc,
+            line,
+            set_shift: line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses allocate (for both
+    /// loads and stores — an allocate-on-write model).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.set_shift;
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.sets.len().trailing_zeros();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            if ways.len() == self.assoc {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            false
+        }
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+}
+
+/// L1s + L2 + DRAM with latency accounting.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1s: Vec<Cache>,
+    l2: Cache,
+    l1_latency: u32,
+    l2_latency: u32,
+    dram_latency: u32,
+}
+
+/// Result of one coalesced transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total latency in cycles.
+    pub latency: u32,
+    /// Hit in L1.
+    pub l1_hit: bool,
+    /// Hit in L2 (only meaningful when `!l1_hit`).
+    pub l2_hit: bool,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for a GPU configuration.
+    #[must_use]
+    pub fn new(cfg: &GpuConfig) -> Self {
+        MemoryHierarchy {
+            l1s: (0..cfg.num_sms)
+                .map(|_| Cache::new(cfg.l1_bytes, cfg.l1_line, cfg.l1_assoc))
+                .collect(),
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_line, cfg.l2_assoc),
+            l1_latency: cfg.l1_latency,
+            l2_latency: cfg.l2_latency,
+            dram_latency: cfg.dram_latency,
+        }
+    }
+
+    /// One coalesced global-memory transaction from SM `sm` touching the
+    /// line containing `addr`, with counter updates.
+    pub fn access(&mut self, sm: usize, addr: u64, act: &mut ActivityCounters) -> AccessResult {
+        act.l1_accesses += 1;
+        if self.l1s[sm].access(addr) {
+            return AccessResult {
+                latency: self.l1_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+        }
+        act.l1_misses += 1;
+        act.l2_accesses += 1;
+        // Request + line-fill response over the NoC: 1 request flit plus
+        // line/32-byte response flits.
+        act.noc_flits += 1 + self.l1s[sm].line() / 32;
+        if self.l2.access(addr) {
+            return AccessResult {
+                latency: self.l2_latency,
+                l1_hit: false,
+                l2_hit: true,
+            };
+        }
+        act.l2_misses += 1;
+        act.dram_accesses += 1;
+        AccessResult {
+            latency: self.dram_latency,
+            l1_hit: false,
+            l2_hit: false,
+        }
+    }
+
+    /// L1 line size.
+    #[must_use]
+    pub fn line(&self) -> u64 {
+        self.l2.line()
+    }
+}
+
+/// Shared-memory bank-conflict degree: with 32 four-byte-interleaved
+/// banks, the access serialises by the largest number of lanes hitting
+/// one bank with *different* words (broadcasts of the same word are
+/// conflict-free, as on real hardware).
+#[must_use]
+pub fn bank_conflict_degree(addrs: &[u64]) -> u32 {
+    let mut per_bank: [Vec<u64>; 32] = std::array::from_fn(|_| Vec::new());
+    for &a in addrs {
+        let word = a / 4;
+        let bank = (word % 32) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Coalesces per-lane byte addresses into unique `line`-byte segments,
+/// preserving first-touch order.
+#[must_use]
+pub fn coalesce(addrs: &[u64], line: u64) -> Vec<u64> {
+    let mut segs: Vec<u64> = Vec::new();
+    for &a in addrs {
+        let seg = a / line * line;
+        if !segs.contains(&seg) {
+            segs.push(seg);
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_behaviour() {
+        let mut c = Cache::new(2 * 128, 128, 2); // 1 set, 2 ways
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0)); // still resident
+        assert!(!c.access(256)); // evicts LRU (128)
+        assert!(c.access(0));
+        assert!(!c.access(128)); // was evicted
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        // Unit stride: each lane its own bank -> degree 1.
+        let unit: Vec<u64> = (0..32u64).map(|l| l * 4).collect();
+        assert_eq!(bank_conflict_degree(&unit), 1);
+        // Stride 2 words: lanes pair up on 16 banks -> degree 2.
+        let stride2: Vec<u64> = (0..32u64).map(|l| l * 8).collect();
+        assert_eq!(bank_conflict_degree(&stride2), 2);
+        // Stride 32 words: all lanes on bank 0 -> degree 32.
+        let worst: Vec<u64> = (0..32u64).map(|l| l * 128).collect();
+        assert_eq!(bank_conflict_degree(&worst), 32);
+        // Broadcast: all lanes same word -> conflict-free.
+        let bcast: Vec<u64> = (0..32).map(|_| 64).collect();
+        assert_eq!(bank_conflict_degree(&bcast), 1);
+    }
+
+    #[test]
+    fn coalescing_unit_stride() {
+        // 32 lanes × 4-byte accesses, unit stride: one 128-byte segment.
+        let addrs: Vec<u64> = (0..32u64).map(|l| 4096 + l * 4).collect();
+        assert_eq!(coalesce(&addrs, 128).len(), 1);
+    }
+
+    #[test]
+    fn coalescing_strided() {
+        // 128-byte stride: every lane its own segment.
+        let addrs: Vec<u64> = (0..32u64).map(|l| l * 128).collect();
+        assert_eq!(coalesce(&addrs, 128).len(), 32);
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let cfg = GpuConfig::scaled(1);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        let miss = h.access(0, 1 << 20, &mut act);
+        assert!(!miss.l1_hit && !miss.l2_hit);
+        assert_eq!(miss.latency, cfg.dram_latency);
+        let hit = h.access(0, 1 << 20, &mut act);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.latency, cfg.l1_latency);
+        assert_eq!(act.l1_accesses, 2);
+        assert_eq!(act.dram_accesses, 1);
+        assert!(act.noc_flits > 0);
+    }
+
+    #[test]
+    fn l2_shared_across_sms() {
+        let cfg = GpuConfig::scaled(2);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        let _ = h.access(0, 4096, &mut act);
+        // Other SM misses its own L1 but hits the shared L2.
+        let r = h.access(1, 4096, &mut act);
+        assert!(!r.l1_hit && r.l2_hit);
+    }
+}

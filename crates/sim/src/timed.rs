@@ -1,0 +1,656 @@
+//! The cycle-level engine: SMs, greedy-then-oldest warp scheduling, a
+//! register scoreboard, functional-unit pools, the memory hierarchy, and
+//! ST² variable-latency adders with a per-SM Carry Register File.
+//!
+//! The timing model is deliberately "GPGPU-Sim-shaped but lighter": each
+//! warp instruction issues atomically to a functional-unit pipe, occupying
+//! it for an issue interval and producing its results after a latency.
+//! ST² mispredictions lengthen both by one cycle — the stall signal of the
+//! paper's Fig. 4 — which is exactly how the design's ~0.36 % average
+//! performance overhead arises.
+
+use crate::config::GpuConfig;
+use crate::exec::{step, ExecEnv, StepHooks, WarpAdderOp, WarpCtx};
+use crate::memory::{coalesce, MemoryHierarchy};
+use crate::stats::ActivityCounters;
+use st2_core::adder::execute_op;
+use st2_core::event::OpContext;
+use st2_core::predictor::Predictor;
+use st2_core::SpeculationConfig;
+use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
+use std::collections::HashMap;
+
+/// Result of a timed run.
+#[derive(Debug, Clone, Default)]
+pub struct TimedOutput {
+    /// Kernel execution time in cycles.
+    pub cycles: u64,
+    /// Component activity for the power model.
+    pub activity: ActivityCounters,
+}
+
+#[derive(Debug)]
+struct BlockSlot {
+    shared: MemImage,
+    live_warps: u32,
+    warps_waiting: u32,
+}
+
+#[derive(Debug)]
+struct TimedWarp {
+    ctx: WarpCtx,
+    slot: usize,
+    reg_ready: Vec<u64>,
+    waiting_barrier: bool,
+    age: u64,
+}
+
+#[derive(Debug)]
+struct SmSpec {
+    config: SpeculationConfig,
+    predictor: Predictor,
+    /// (cycle, row) of CRF writes for same-cycle conflict detection.
+    row_writes: HashMap<u32, u64>,
+}
+
+impl SmSpec {
+    fn new(config: SpeculationConfig) -> Self {
+        SmSpec {
+            config,
+            predictor: Predictor::from_config(&config),
+            row_writes: HashMap::new(),
+        }
+    }
+
+    /// Runs a warp's lane adds through the speculative adders; returns
+    /// whether any lane mispredicted (stalling the warp one cycle).
+    fn process(&mut self, op: &WarpAdderOp, act: &mut ActivityCounters, now: u64) -> bool {
+        let layout = op.width.layout();
+        act.crf_reads += 1; // one row read per warp operation
+        let mut any = false;
+        for lane in &op.lanes {
+            let ctx = OpContext {
+                pc: op.pc,
+                gtid: lane.gtid as u32,
+                ltid: lane.lane,
+            };
+            let out = execute_op(
+                &mut self.predictor,
+                &self.config,
+                layout,
+                &ctx,
+                lane.a,
+                lane.b,
+                lane.sub,
+                &mut act.adder,
+            );
+            any |= out.mispredicted;
+        }
+        if any {
+            // Mispredicting threads write back their new carries: one CRF
+            // row write per warp; same-cycle writes to the same row from
+            // different warps contend (random arbitration in hardware).
+            let row = op.pc & 0xF;
+            if self.row_writes.get(&row) == Some(&now) {
+                act.crf_conflicts += 1;
+            }
+            self.row_writes.insert(row, now);
+            act.crf_writes += 1;
+        }
+        any
+    }
+}
+
+#[derive(Debug)]
+struct Sm {
+    warps: Vec<TimedWarp>,
+    slots: Vec<Option<BlockSlot>>,
+    pipes: HashMap<Pool, Vec<u64>>,
+    spec: Option<SmSpec>,
+    last_issued: Option<usize>,
+    age_counter: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pool {
+    Alu,
+    Fpu,
+    Dpu,
+    MulDiv,
+    Sfu,
+    Ldst,
+}
+
+/// Registers read and written by an instruction (for the scoreboard).
+fn inst_regs(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
+    let mut reads = Vec::with_capacity(3);
+    let mut push_op = |o: Operand| {
+        if let Operand::Reg(r) = o {
+            reads.push(r);
+        }
+    };
+    let write = match *inst {
+        Inst::Int { d, a, b, .. } | Inst::Float { d, a, b, .. } => {
+            push_op(a);
+            push_op(b);
+            Some(d)
+        }
+        Inst::Fma { d, a, b, c, .. } => {
+            push_op(a);
+            push_op(b);
+            push_op(c);
+            Some(d)
+        }
+        Inst::Sfu { d, a, .. } | Inst::Cvt { d, a, .. } | Inst::Mov { d, a } => {
+            push_op(a);
+            Some(d)
+        }
+        Inst::Ld { d, addr, .. } => {
+            reads.push(addr);
+            Some(d)
+        }
+        Inst::St { v, addr, .. } => {
+            push_op(v);
+            reads.push(addr);
+            None
+        }
+        Inst::Bra { cond, .. } => {
+            if let Some(c) = cond {
+                reads.push(c.reg);
+            }
+            None
+        }
+        Inst::Bar | Inst::Exit => None,
+        Inst::Special { d, .. } => Some(d),
+    };
+    (reads, write)
+}
+
+fn pool_of(inst: &Inst) -> Pool {
+    match inst {
+        Inst::Int {
+            op: IntOp::Mul | IntOp::Div | IntOp::Rem,
+            ..
+        } => Pool::MulDiv,
+        Inst::Int { .. } => Pool::Alu,
+        Inst::Float { op, w, .. } => match (op, w) {
+            (st2_isa::FloatOp::Mul | st2_isa::FloatOp::Div, _) => Pool::MulDiv,
+            (_, FloatWidth::F32) => Pool::Fpu,
+            (_, FloatWidth::F64) => Pool::Dpu,
+        },
+        Inst::Fma { w: FloatWidth::F32, .. } => Pool::Fpu,
+        Inst::Fma { w: FloatWidth::F64, .. } => Pool::Dpu,
+        Inst::Sfu { .. } => Pool::Sfu,
+        Inst::Ld { .. } | Inst::St { .. } => Pool::Ldst,
+        _ => Pool::Alu,
+    }
+}
+
+/// Runs a kernel launch on the cycle-level model.
+///
+/// # Panics
+///
+/// Panics on invalid programs, out-of-bounds memory accesses, or if the
+/// simulation exceeds an internal cycle limit (deadlock guard).
+pub fn run_timed(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    cfg: &GpuConfig,
+) -> TimedOutput {
+    program.validate().expect("invalid program");
+    let mut act = ActivityCounters::default();
+    let mut mem = MemoryHierarchy::new(cfg);
+
+    let warps_per_block = launch.warps_per_block();
+    let blocks_per_sm_limit = cfg
+        .max_blocks_per_sm
+        .min(cfg.max_warps_per_sm / warps_per_block.max(1))
+        .max(1);
+
+    let mut sms: Vec<Sm> = (0..cfg.num_sms)
+        .map(|_| {
+            let mut pipes = HashMap::new();
+            pipes.insert(Pool::Alu, vec![0u64; cfg.alu_pipes as usize]);
+            pipes.insert(Pool::Fpu, vec![0u64; cfg.fpu_pipes as usize]);
+            pipes.insert(Pool::Dpu, vec![0u64; cfg.dpu_pipes as usize]);
+            pipes.insert(Pool::MulDiv, vec![0u64; cfg.muldiv_pipes as usize]);
+            pipes.insert(Pool::Sfu, vec![0u64; cfg.sfu_pipes as usize]);
+            pipes.insert(Pool::Ldst, vec![0u64; cfg.ldst_pipes as usize]);
+            Sm {
+                warps: Vec::new(),
+                slots: (0..blocks_per_sm_limit).map(|_| None).collect(),
+                pipes,
+                spec: cfg.speculation.map(SmSpec::new),
+                last_issued: None,
+                age_counter: 0,
+            }
+        })
+        .collect();
+
+    let mut next_block = 0u32;
+    let mut now = 0u64;
+    let max_cycles = 50_000_000_000u64;
+
+    // Assigns at most one pending block to a free slot (called every
+    // cycle per SM, yielding round-robin block distribution).
+    fn refill(
+        sm: &mut Sm,
+        next_block: &mut u32,
+        launch: LaunchConfig,
+        program: &Program,
+        warps_per_block: u32,
+    ) {
+        for slot in 0..sm.slots.len() {
+            if sm.slots[slot].is_some() || *next_block >= launch.grid_dim {
+                continue;
+            }
+            let b = *next_block;
+            *next_block += 1;
+            sm.slots[slot] = Some(BlockSlot {
+                shared: MemImage::new(program.shared_bytes().max(8)),
+                live_warps: warps_per_block,
+                warps_waiting: 0,
+            });
+            for w in 0..warps_per_block {
+                let lanes = (launch.block_dim - w * 32).min(32);
+                sm.age_counter += 1;
+                sm.warps.push(TimedWarp {
+                    ctx: WarpCtx::new(
+                        w,
+                        b,
+                        u64::from(b) * u64::from(launch.block_dim) + u64::from(w) * 32,
+                        lanes,
+                        program.num_regs(),
+                    ),
+                    slot,
+                    reg_ready: vec![0; usize::from(program.num_regs())],
+                    waiting_barrier: false,
+                    age: sm.age_counter,
+                });
+            }
+            break; // one block per call
+        }
+    }
+
+    for sm in sms.iter_mut() {
+        refill(sm, &mut next_block, launch, program, warps_per_block);
+    }
+
+    loop {
+        let mut any_resident = false;
+        let mut any_issued = false;
+        let mut next_wake = u64::MAX;
+
+        let mut busy_sms = 0u64;
+        let mut idle_sms = 0u64;
+        for (sm_idx, sm) in sms.iter_mut().enumerate() {
+            if next_block < launch.grid_dim {
+                refill(sm, &mut next_block, launch, program, warps_per_block);
+            }
+            if sm.warps.is_empty() {
+                idle_sms += 1;
+                continue;
+            }
+            any_resident = true;
+            busy_sms += 1;
+
+            // Candidate order per the configured scheduler.
+            let mut order: Vec<usize> = (0..sm.warps.len()).collect();
+            match cfg.scheduler {
+                crate::config::SchedulerKind::Gto => {
+                    order.sort_by_key(|&i| sm.warps[i].age);
+                    if let Some(last) = sm.last_issued {
+                        if last < sm.warps.len() {
+                            order.retain(|&i| i != last);
+                            order.insert(0, last);
+                        }
+                    }
+                }
+                crate::config::SchedulerKind::RoundRobin => {
+                    let start = sm
+                        .last_issued
+                        .map(|l| (l + 1) % sm.warps.len())
+                        .unwrap_or(0);
+                    order.rotate_left(start);
+                }
+            }
+
+            let mut issued_this_sm = 0u32;
+            for &wi in &order {
+                if issued_this_sm >= cfg.issue_width {
+                    break;
+                }
+                // Split-borrow dance: check conditions first.
+                let (can_issue, wake) = {
+                    let w = &sm.warps[wi];
+                    if w.waiting_barrier || w.ctx.is_done() {
+                        (false, u64::MAX)
+                    } else {
+                        let pc = w.ctx.stack.pc();
+                        let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
+                        let (reads, write) = inst_regs(&inst);
+                        let mut ready_at = now;
+                        for r in reads.iter().chain(write.iter()) {
+                            ready_at = ready_at.max(w.reg_ready[usize::from(r.0)]);
+                        }
+                        let pool = pool_of(&inst);
+                        let pipe_free = sm.pipes[&pool]
+                            .iter()
+                            .copied()
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        let at = ready_at.max(pipe_free);
+                        (at <= now, at)
+                    }
+                };
+                if !can_issue {
+                    if wake != u64::MAX {
+                        next_wake = next_wake.min(wake.max(now + 1));
+                    }
+                    continue;
+                }
+
+                // Issue: execute functionally and account timing.
+                let slot = sm.warps[wi].slot;
+                let pc = sm.warps[wi].ctx.stack.pc();
+                let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
+                let pool = pool_of(&inst);
+                let info = {
+                    let shared = &mut sm.slots[slot]
+                        .as_mut()
+                        .expect("warp belongs to a live block")
+                        .shared;
+                    let mut env = ExecEnv {
+                        program,
+                        launch,
+                        global,
+                        shared,
+                    };
+                    let mut hooks = StepHooks::default();
+                    step(&mut sm.warps[wi].ctx, &mut env, &mut hooks)
+                };
+
+                act.mix.add(info.class, u64::from(info.active_threads));
+                if matches!(inst, Inst::Fma { .. }) {
+                    act.fma_ops += u64::from(info.active_threads);
+                }
+                act.warp_instructions += 1;
+                act.regfile_reads += info.reg_reads;
+                act.regfile_writes += info.reg_writes;
+                if let Some(op) = &info.adder {
+                    match op.width {
+                        st2_core::WidthClass::Int64 => {
+                            act.adder_int_ops += op.lanes.len() as u64;
+                        }
+                        st2_core::WidthClass::Mant24 => {
+                            act.adder_f32_ops += op.lanes.len() as u64;
+                        }
+                        st2_core::WidthClass::Mant53 => {
+                            act.adder_f64_ops += op.lanes.len() as u64;
+                        }
+                    }
+                }
+
+                // Timing.
+                let mut interval = 1u64;
+                let mut latency = u64::from(match pool {
+                    Pool::Alu => cfg.alu_latency,
+                    Pool::Fpu => cfg.fpu_latency,
+                    Pool::Dpu => cfg.dpu_latency,
+                    Pool::MulDiv => match inst {
+                        Inst::Int {
+                            op: IntOp::Div | IntOp::Rem,
+                            ..
+                        }
+                        | Inst::Float {
+                            op: st2_isa::FloatOp::Div,
+                            ..
+                        } => cfg.div_latency,
+                        _ => cfg.mul_latency,
+                    },
+                    Pool::Sfu => cfg.sfu_latency,
+                    Pool::Ldst => 0, // set below
+                });
+                if pool == Pool::Sfu {
+                    interval = u64::from(cfg.sfu_interval);
+                }
+                if matches!(
+                    inst,
+                    Inst::Int {
+                        op: IntOp::Div | IntOp::Rem,
+                        ..
+                    } | Inst::Float {
+                        op: st2_isa::FloatOp::Div,
+                        ..
+                    }
+                ) {
+                    interval = 4;
+                }
+
+                // ST² speculation: a misprediction adds one recompute cycle
+                // to both occupancy (stall) and result latency.
+                if let (Some(spec), Some(op)) = (sm.spec.as_mut(), info.adder.as_ref()) {
+                    if spec.process(op, &mut act, now) {
+                        interval += 1;
+                        latency += 1;
+                        act.stall_cycles += 1;
+                    }
+                }
+
+                // Memory timing.
+                if let Some(m) = &info.mem {
+                    match m.space {
+                        Space::Shared => {
+                            let degree =
+                                u64::from(crate::memory::bank_conflict_degree(&m.addrs));
+                            act.shared_accesses += degree;
+                            if degree > 1 {
+                                act.shared_bank_conflicts += degree - 1;
+                            }
+                            latency = u64::from(cfg.shared_latency) + degree - 1;
+                            interval = degree;
+                        }
+                        Space::Global => {
+                            let segs = coalesce(&m.addrs, cfg.l1_line);
+                            let mut worst = 0u32;
+                            for seg in &segs {
+                                let r = mem.access(sm_idx, *seg, &mut act);
+                                worst = worst.max(r.latency);
+                            }
+                            latency = u64::from(worst);
+                            interval = segs.len().max(1) as u64;
+                        }
+                    }
+                    if m.store {
+                        // Stores retire without blocking the warp.
+                        latency = 0;
+                    }
+                }
+
+                // Occupy the pipe.
+                let pipes = sm.pipes.get_mut(&pool).expect("pool exists");
+                let pipe = pipes
+                    .iter_mut()
+                    .min()
+                    .expect("pools are non-empty");
+                *pipe = now + interval;
+
+                // Scoreboard.
+                let (_, write) = inst_regs(&inst);
+                if let Some(d) = write {
+                    sm.warps[wi].reg_ready[usize::from(d.0)] = now + latency.max(1);
+                }
+
+                // Barrier bookkeeping.
+                if info.barrier {
+                    sm.warps[wi].waiting_barrier = true;
+                    if let Some(bs) = sm.slots[slot].as_mut() {
+                        bs.warps_waiting += 1;
+                    }
+                }
+
+                sm.last_issued = Some(wi);
+                issued_this_sm += 1;
+                any_issued = true;
+            }
+
+            // Barrier release + warp/block retirement.
+            for wi in 0..sm.warps.len() {
+                if sm.warps[wi].ctx.is_done() {
+                    continue;
+                }
+            }
+            // Release barriers per slot.
+            for slot in 0..sm.slots.len() {
+                let (waiting, live) = match &sm.slots[slot] {
+                    Some(bs) => (bs.warps_waiting, bs.live_warps),
+                    None => continue,
+                };
+                let done_count = sm
+                    .warps
+                    .iter()
+                    .filter(|w| w.slot == slot && w.ctx.is_done())
+                    .count() as u32;
+                let _ = live;
+                let resident = sm.warps.iter().filter(|w| w.slot == slot).count() as u32;
+                if waiting > 0 && waiting + done_count == resident {
+                    for w in sm.warps.iter_mut().filter(|w| w.slot == slot) {
+                        w.waiting_barrier = false;
+                    }
+                    if let Some(bs) = sm.slots[slot].as_mut() {
+                        bs.warps_waiting = 0;
+                    }
+                }
+            }
+            // Retire finished warps and blocks.
+            let mut freed = false;
+            for slot in 0..sm.slots.len() {
+                if sm.slots[slot].is_some()
+                    && sm
+                        .warps
+                        .iter()
+                        .filter(|w| w.slot == slot)
+                        .all(|w| w.ctx.is_done())
+                    && sm.warps.iter().any(|w| w.slot == slot)
+                {
+                    sm.warps.retain(|w| w.slot != slot);
+                    sm.slots[slot] = None;
+                    sm.last_issued = None;
+                    freed = true;
+                }
+            }
+            let _ = freed;
+        }
+
+        if !any_resident && next_block >= launch.grid_dim {
+            break;
+        }
+        // Advance time: by one cycle when work was issued, otherwise jump
+        // to the next wake-up point (scoreboard/pipe availability). SM
+        // active/idle accounting covers the whole interval, not just the
+        // iteration, so fast-forwarding does not distort static energy.
+        let next_now = if any_issued || next_wake == u64::MAX {
+            now + 1
+        } else {
+            next_wake.max(now + 1)
+        };
+        let dt = next_now - now;
+        act.active_sm_cycles += busy_sms * dt;
+        act.idle_sm_cycles += idle_sms * dt;
+        now = next_now;
+        assert!(now < max_cycles, "simulation exceeded cycle limit");
+    }
+
+    act.cycles = now;
+    TimedOutput {
+        cycles: now,
+        activity: act,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st2_isa::{KernelBuilder, Special};
+
+    fn compute_kernel() -> (Program, LaunchConfig, MemImage) {
+        // out[t] = sum_{i<64} (t + i) — ALU-heavy.
+        let mut k = KernelBuilder::new("alu_heavy");
+        let tid = k.special(Special::GlobalTid);
+        let acc = k.reg();
+        k.mov(acc, Operand::Imm(0));
+        k.for_range(Operand::Imm(0), Operand::Imm(64), |k, i| {
+            let t = k.reg();
+            k.iadd(t, tid.into(), i.into());
+            k.iadd(acc, acc.into(), t.into());
+        });
+        let a = k.reg();
+        k.imul(a, tid.into(), Operand::Imm(8));
+        k.st_global_u64(acc.into(), a, 0);
+        let p = k.finish();
+        let launch = LaunchConfig::new(8, 128);
+        let g = MemImage::new(launch.total_threads() * 8);
+        (p, launch, g)
+    }
+
+    #[test]
+    fn timed_matches_functional_results() {
+        let (p, launch, mut g1) = compute_kernel();
+        let mut g2 = g1.clone();
+        let _ = crate::engine::run_functional(
+            &p,
+            launch,
+            &mut g1,
+            &crate::engine::FunctionalOptions::default(),
+        );
+        let cfg = GpuConfig::scaled(2);
+        let _ = run_timed(&p, launch, &mut g2, &cfg);
+        assert_eq!(g1.as_bytes(), g2.as_bytes(), "timed and functional agree");
+    }
+
+    #[test]
+    fn cycles_are_positive_and_scale_down_with_sms() {
+        let (p, launch, mut g1) = compute_kernel();
+        let mut g2 = g1.clone();
+        let one = run_timed(&p, launch, &mut g1, &GpuConfig::scaled(1));
+        let four = run_timed(&p, launch, &mut g2, &GpuConfig::scaled(4));
+        assert!(one.cycles > 0);
+        assert!(
+            four.cycles < one.cycles,
+            "more SMs should finish sooner: {} vs {}",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn st2_overhead_is_small() {
+        let (p, launch, mut g1) = compute_kernel();
+        let mut g2 = g1.clone();
+        let base = run_timed(&p, launch, &mut g1, &GpuConfig::scaled(2));
+        let st2 = run_timed(&p, launch, &mut g2, &GpuConfig::scaled(2).with_st2());
+        assert_eq!(g1.as_bytes(), g2.as_bytes(), "speculation never changes results");
+        assert!(st2.activity.adder.ops > 0, "speculative adders were exercised");
+        // This kernel is deliberately adversarial: it saturates the ALU
+        // pipes with back-to-back dependent adds, so every warp-level
+        // misprediction converts directly into an extra cycle. Real
+        // kernels (the suite-level perf_overhead study) absorb stalls in
+        // their memory/control slack and land near the paper's 0.36 %.
+        let slowdown = st2.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(
+            slowdown < 0.35,
+            "ST2 slowdown out of plausible band, got {slowdown:.3}"
+        );
+    }
+
+    #[test]
+    fn memory_activity_counted() {
+        let (p, launch, mut g) = compute_kernel();
+        let out = run_timed(&p, launch, &mut g, &GpuConfig::scaled(2));
+        assert!(out.activity.l1_accesses > 0, "stores access the cache");
+        assert!(out.activity.regfile_reads > 0);
+        assert!(out.activity.mix.count(st2_isa::InstClass::AluAdd) > 0);
+        assert!(out.activity.adder_int_ops > 0);
+    }
+}

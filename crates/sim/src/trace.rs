@@ -1,0 +1,87 @@
+//! Value traces for the paper's Fig. 2 (value evolution in logical time).
+
+use serde::{Deserialize, Serialize};
+use st2_isa::InstClass;
+
+/// One traced result value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// PC of the producing instruction.
+    pub pc: u32,
+    /// Logical time: the order in which the traced thread executed its
+    /// instructions.
+    pub logical_time: u64,
+    /// The produced value, interpreted as a signed integer (for float
+    /// producers this is the rounded numeric value, matching the paper's
+    /// plot of result magnitudes).
+    pub value: i64,
+    /// Class of the producing instruction.
+    pub class: InstClass,
+}
+
+/// The value history of one thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValueTrace {
+    entries: Vec<TraceEntry>,
+    clock: u64,
+}
+
+impl ValueTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one produced value.
+    pub fn record(&mut self, pc: u32, value: i64, class: InstClass) {
+        self.entries.push(TraceEntry {
+            pc,
+            logical_time: self.clock,
+            value,
+            class,
+        });
+        self.clock += 1;
+    }
+
+    /// All entries in logical-time order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries produced by one PC.
+    #[must_use]
+    pub fn for_pc(&self, pc: u32) -> Vec<TraceEntry> {
+        self.entries.iter().copied().filter(|e| e.pc == pc).collect()
+    }
+
+    /// The distinct PCs seen, in first-appearance order.
+    #[must_use]
+    pub fn pcs(&self) -> Vec<u32> {
+        let mut pcs = Vec::new();
+        for e in &self.entries {
+            if !pcs.contains(&e.pc) {
+                pcs.push(e.pc);
+            }
+        }
+        pcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_time_increments() {
+        let mut t = ValueTrace::new();
+        t.record(3, 10, InstClass::AluAdd);
+        t.record(5, -7, InstClass::AluAdd);
+        t.record(3, 11, InstClass::AluAdd);
+        assert_eq!(t.entries()[0].logical_time, 0);
+        assert_eq!(t.entries()[2].logical_time, 2);
+        assert_eq!(t.for_pc(3).len(), 2);
+        assert_eq!(t.pcs(), vec![3, 5]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Edge-case tests for the functional execution core: numeric corner
+//! cases, divergence corner cases, and special-register semantics.
+
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
+use st2_sim::{run_functional, FunctionalOptions};
+
+/// Runs a single-warp kernel and returns final memory.
+fn run(k: KernelBuilder, mem_bytes: u64, lanes: u32) -> MemImage {
+    let p = k.finish();
+    let mut mem = MemImage::new(mem_bytes);
+    let _ = run_functional(
+        &p,
+        LaunchConfig::new(1, lanes),
+        &mut mem,
+        &FunctionalOptions::default(),
+    );
+    mem
+}
+
+/// Emits `store(value_reg) -> out[slot]`.
+fn store_slot(k: &mut KernelBuilder, v: st2_isa::Reg, slot: i64) {
+    let a = k.reg();
+    k.mov(a, Operand::Imm(slot * 8));
+    k.st_global_u64(v.into(), a, 0);
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    let mut k = KernelBuilder::new("t");
+    let d = k.reg();
+    k.idiv(d, Operand::Imm(42), Operand::Imm(0));
+    store_slot(&mut k, d, 0);
+    let r = k.reg();
+    k.irem(r, Operand::Imm(42), Operand::Imm(0));
+    store_slot(&mut k, r, 1);
+    let m = run(k, 16, 1);
+    assert_eq!(m.read_u64(0), 0);
+    assert_eq!(m.read_u64(8), 0);
+}
+
+#[test]
+fn int_min_division_does_not_overflow() {
+    let mut k = KernelBuilder::new("t");
+    let d = k.reg();
+    k.idiv(d, Operand::Imm(i64::MIN), Operand::Imm(-1));
+    store_slot(&mut k, d, 0);
+    let m = run(k, 8, 1);
+    // wrapping_div(i64::MIN, -1) == i64::MIN
+    assert_eq!(m.read_u64(0) as i64, i64::MIN);
+}
+
+#[test]
+fn shift_amounts_are_masked_to_six_bits() {
+    let mut k = KernelBuilder::new("t");
+    let s = k.reg();
+    k.ishl(s, Operand::Imm(1), Operand::Imm(65)); // 65 & 63 = 1
+    store_slot(&mut k, s, 0);
+    let t = k.reg();
+    k.isra(t, Operand::Imm(-8), Operand::Imm(64)); // 64 & 63 = 0
+    store_slot(&mut k, t, 1);
+    let m = run(k, 16, 1);
+    assert_eq!(m.read_u64(0), 2);
+    assert_eq!(m.read_u64(8) as i64, -8);
+}
+
+#[test]
+fn nan_propagates_through_fp_pipeline_without_adder_records() {
+    let mut k = KernelBuilder::new("t");
+    let x = k.reg();
+    k.fdiv(x, Operand::f32(0.0), Operand::f32(0.0)); // NaN
+    let y = k.reg();
+    k.fadd(y, x.into(), Operand::f32(1.0));
+    let a = k.reg();
+    k.mov(a, Operand::Imm(0));
+    k.st_global_u32(y.into(), a, 0);
+    let p = k.finish();
+    let mut mem = MemImage::new(8);
+    let out = run_functional(
+        &p,
+        LaunchConfig::new(1, 1),
+        &mut mem,
+        &FunctionalOptions {
+            collect_records: true,
+            ..Default::default()
+        },
+    );
+    assert!(mem.read_f32(0).is_nan(), "NaN + 1 is NaN");
+    // The NaN-fed FADD skips the mantissa adder (special-case path).
+    assert!(
+        out.records.iter().all(|r| r.width == st2_core::WidthClass::Int64),
+        "no mantissa records from NaN inputs"
+    );
+}
+
+#[test]
+fn fmin_fmax_and_comparisons() {
+    let mut k = KernelBuilder::new("t");
+    let lo = k.reg();
+    k.fmin(lo, Operand::f32(2.5), Operand::f32(-1.0));
+    let hi = k.reg();
+    k.fmax(hi, Operand::f32(2.5), Operand::f32(-1.0));
+    let p1 = k.reg();
+    k.fsetlt(p1, lo.into(), hi.into());
+    let p2 = k.reg();
+    k.fsetle(p2, hi.into(), lo.into());
+    store_slot(&mut k, p1, 0);
+    store_slot(&mut k, p2, 1);
+    let a = k.reg();
+    k.mov(a, Operand::Imm(16));
+    k.st_global_u32(lo.into(), a, 0);
+    k.st_global_u32(hi.into(), a, 4);
+    let m = run(k, 24, 1);
+    assert_eq!(m.read_u64(0), 1);
+    assert_eq!(m.read_u64(8), 0);
+    assert_eq!(m.read_f32(16), -1.0);
+    assert_eq!(m.read_f32(20), 2.5);
+}
+
+#[test]
+fn conversions_round_trip_and_truncate() {
+    let mut k = KernelBuilder::new("t");
+    let f = k.reg();
+    k.mov(f, Operand::f32(-2.75));
+    let i = k.reg();
+    k.f2i(i, f.into()); // trunc toward zero: -2
+    store_slot(&mut k, i, 0);
+    let d = k.reg();
+    k.f2d(d, f.into());
+    let i2 = k.reg();
+    k.d2i(i2, d.into());
+    store_slot(&mut k, i2, 1);
+    let back = k.reg();
+    k.i2d(back, Operand::Imm(1 << 40));
+    let f2 = k.reg();
+    k.d2f(f2, back.into());
+    let a = k.reg();
+    k.mov(a, Operand::Imm(16));
+    k.st_global_u32(f2.into(), a, 0);
+    let m = run(k, 24, 1);
+    assert_eq!(m.read_u64(0) as i64, -2);
+    assert_eq!(m.read_u64(8) as i64, -2);
+    assert_eq!(m.read_f32(16), (1u64 << 40) as f32);
+}
+
+#[test]
+fn f64_arithmetic_uses_dpu_and_mant53_records() {
+    let mut k = KernelBuilder::new("t");
+    let x = k.reg();
+    k.mov(x, Operand::f64(1.5e100));
+    let y = k.reg();
+    k.dadd(y, x.into(), Operand::f64(2.5e100));
+    let z = k.reg();
+    k.dmul(z, y.into(), Operand::f64(0.5));
+    let a = k.reg();
+    k.mov(a, Operand::Imm(0));
+    k.st_global_u64(z.into(), a, 0);
+    let p = k.finish();
+    let mut mem = MemImage::new(8);
+    let out = run_functional(
+        &p,
+        LaunchConfig::new(1, 1),
+        &mut mem,
+        &FunctionalOptions {
+            collect_records: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(mem.read_f64(0), (1.5e100 + 2.5e100) * 0.5);
+    assert!(out
+        .records
+        .iter()
+        .any(|r| r.width == st2_core::WidthClass::Mant53));
+    assert_eq!(out.mix.count(st2_isa::InstClass::FpuAdd), 1);
+    assert_eq!(out.mix.count(st2_isa::InstClass::FpMulDiv), 1);
+}
+
+#[test]
+fn sfu_functions_are_numerically_sane() {
+    let mut k = KernelBuilder::new("t");
+    let x = k.reg();
+    k.mov(x, Operand::f32(4.0));
+    let regs: Vec<_> = (0..4).map(|_| k.reg()).collect();
+    k.fsqrt(regs[0], x.into());
+    k.frcp(regs[1], x.into());
+    k.frsqrt(regs[2], x.into());
+    k.fexp(regs[3], Operand::f32(0.0));
+    let a = k.reg();
+    k.mov(a, Operand::Imm(0));
+    for (i, r) in regs.iter().enumerate() {
+        k.st_global_u32((*r).into(), a, i as i64 * 4);
+    }
+    let m = run(k, 16, 1);
+    assert_eq!(m.read_f32(0), 2.0);
+    assert_eq!(m.read_f32(4), 0.25);
+    assert_eq!(m.read_f32(8), 0.5);
+    assert_eq!(m.read_f32(12), 1.0);
+}
+
+#[test]
+fn exit_under_divergence_kills_only_the_taken_path() {
+    // Odd lanes exit early; even lanes continue and store.
+    let mut k = KernelBuilder::new("t");
+    let tid = k.special(Special::GlobalTid);
+    let odd = k.reg();
+    k.iand(odd, tid.into(), Operand::Imm(1));
+    k.if_(odd, |k| k.exit());
+    let a = k.reg();
+    k.imul(a, tid.into(), Operand::Imm(8));
+    k.st_global_u64(Operand::Imm(7), a, 0);
+    let m = run(k, 8 * 8, 8);
+    for t in 0..8u64 {
+        let expect = if t % 2 == 1 { 0 } else { 7 };
+        assert_eq!(m.read_u64(t * 8), expect, "lane {t}");
+    }
+}
+
+#[test]
+fn special_registers_expose_geometry() {
+    let mut k = KernelBuilder::new("t");
+    let vals = [
+        Special::Tid,
+        Special::CtaId,
+        Special::NTid,
+        Special::NCta,
+        Special::LaneId,
+        Special::WarpId,
+        Special::GlobalTid,
+    ];
+    let tid = k.special(Special::GlobalTid);
+    let base = k.reg();
+    k.imul(base, tid.into(), Operand::Imm(7 * 8));
+    for (i, s) in vals.iter().enumerate() {
+        let r = k.special(*s);
+        k.st_global_u64(r.into(), base, i as i64 * 8);
+    }
+    let p = k.finish();
+    let launch = LaunchConfig::new(2, 40); // 2 warps per block, partial 2nd
+    let mut mem = MemImage::new(launch.total_threads() * 7 * 8);
+    let _ = run_functional(&p, launch, &mut mem, &FunctionalOptions::default());
+    // Check thread 37 (block 0, warp 1, lane 5) and thread 47 (block 1,
+    // warp 0, lane 7).
+    let read = |t: u64, i: u64| mem.read_u64(t * 56 + i * 8);
+    assert_eq!(read(37, 0), 37); // tid in block
+    assert_eq!(read(37, 1), 0); // cta
+    assert_eq!(read(37, 2), 40); // ntid
+    assert_eq!(read(37, 3), 2); // ncta
+    assert_eq!(read(37, 4), 5); // lane
+    assert_eq!(read(37, 5), 1); // warp
+    assert_eq!(read(37, 6), 37); // gtid
+    assert_eq!(read(47, 0), 7); // tid in block 1
+    assert_eq!(read(47, 1), 1);
+    assert_eq!(read(47, 4), 7);
+    assert_eq!(read(47, 5), 0);
+    assert_eq!(read(47, 6), 47);
+}
+
+#[test]
+fn nested_loops_with_data_dependent_bounds() {
+    // out[t] = sum_{i<t} sum_{j<i} 1 = C(t, 2)
+    let mut k = KernelBuilder::new("t");
+    let tid = k.special(Special::GlobalTid);
+    let acc = k.reg();
+    k.mov(acc, Operand::Imm(0));
+    k.for_range(Operand::Imm(0), tid.into(), |k, i| {
+        k.for_range(Operand::Imm(0), i.into(), |k, _j| {
+            k.iadd(acc, acc.into(), Operand::Imm(1));
+        });
+    });
+    let a = k.reg();
+    k.imul(a, tid.into(), Operand::Imm(8));
+    k.st_global_u64(acc.into(), a, 0);
+    let m = run(k, 32 * 8, 32);
+    for t in 0..32u64 {
+        assert_eq!(m.read_u64(t * 8), t * t.saturating_sub(1) / 2, "lane {t}");
+    }
+}

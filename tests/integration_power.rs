@@ -1,0 +1,114 @@
+//! Cross-crate integration: simulator activity → power model → savings.
+
+use st2::power::breakdown::summarize;
+use st2::power::calibrate::calibrate;
+use st2::power::micro::stressors;
+use st2::power::validate::validate;
+use st2::prelude::*;
+
+fn energies_for(specs: Vec<KernelSpec>) -> Vec<KernelEnergy> {
+    let energy = EnergyModel::characterized();
+    let base_cfg = GpuConfig::scaled(2);
+    let st2_cfg = base_cfg.with_st2();
+    specs
+        .into_iter()
+        .map(|spec| {
+            let mut m1 = spec.memory.clone();
+            let base = run_timed(&spec.program, spec.launch, &mut m1, &base_cfg);
+            let mut m2 = spec.memory.clone();
+            let st2 = run_timed(&spec.program, spec.launch, &mut m2, &st2_cfg);
+            KernelEnergy::from_activities(
+                spec.name,
+                &energy,
+                &base.activity,
+                &st2.activity,
+                base_cfg.clock_ghz,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn st2_saves_energy_on_arithmetic_kernels() {
+    let kernels = energies_for(vec![
+        st2::kernels::sad::build(Scale::Test),
+        st2::kernels::pathfinder::build(Scale::Test),
+        st2::kernels::qrng::build_k1(Scale::Test),
+    ]);
+    for k in &kernels {
+        assert!(
+            k.system_savings() > 0.0,
+            "{} should save system energy, got {:.3}",
+            k.name,
+            k.system_savings()
+        );
+        assert!(
+            k.chip_savings() >= k.system_savings() - 1e-9,
+            "{}: chip savings must be >= system savings (DRAM unchanged)",
+            k.name
+        );
+        // The ST² run never increases any non-ALU component.
+        for (c, b, s) in k.stacks() {
+            if c != Component::AluFpu && c != Component::Others {
+                assert!(
+                    s <= b * 1.05 + 1e-12,
+                    "{}: component {c} grew from {b:.4} to {s:.4}",
+                    k.name
+                );
+            }
+        }
+    }
+    let summary = summarize(&kernels);
+    assert!(summary.avg_system_savings > 0.05);
+    assert!(summary.max_system_savings < 0.9, "savings cannot exceed the ALU share");
+}
+
+#[test]
+fn calibration_and_validation_pipeline() {
+    // The §V-C methodology: fit on stressors, validate on kernel-shaped
+    // runs, get paper-magnitude errors.
+    let energy = EnergyModel::characterized();
+    let mut oracle = SiliconOracle::new(2024, 0.09);
+    let model = calibrate(&energy, &stressors(), &mut oracle, 1.2);
+
+    // Validation set: timed runs of real kernels (baseline config).
+    let cfg = GpuConfig::scaled(2);
+    let runs: Vec<(&str, st2::sim::ActivityCounters)> = vec![
+        st2::kernels::pathfinder::build(Scale::Test),
+        st2::kernels::walsh::build_k1(Scale::Test),
+        st2::kernels::histogram::build(Scale::Test),
+        st2::kernels::kmeans::build(Scale::Test),
+        st2::kernels::sobol::build(Scale::Test),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let mut mem = spec.memory.clone();
+        let out = run_timed(&spec.program, spec.launch, &mut mem, &cfg);
+        (spec.name, out.activity)
+    })
+    .collect();
+
+    let report = validate(&energy, &model, &runs, &mut oracle, cfg.clock_ghz);
+    assert!(
+        report.mare < 0.35,
+        "validation MARE {:.3} implausibly high",
+        report.mare
+    );
+    assert_eq!(report.kernels, 5);
+}
+
+#[test]
+fn overheads_match_paper_arithmetic() {
+    use st2::power::overheads::{storage_overheads, titan_v_shifter_overheads};
+    use st2::circuit::shifter::AdderPopulation;
+
+    let s = storage_overheads(&AdderPopulation::titan_v());
+    assert_eq!(s.crf_bytes_chip, 35_840);
+    assert_eq!(s.total_bytes_chip, 51_200);
+    assert!(s.fraction_of_onchip_sram < 0.0015);
+
+    let ls = titan_v_shifter_overheads(1e11);
+    assert!(ls.area_mm2 < 5.5 && ls.area_frac_of_die < 0.0068 + 1e-4);
+    assert!(ls.static_power_w < 0.6);
+    assert!((ls.delay_ps - 20.8).abs() < 1e-9);
+}
