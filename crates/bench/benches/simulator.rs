@@ -37,6 +37,37 @@ fn bench_simulator(c: &mut Criterion) {
             black_box(run_timed(&spec.program, spec.launch, &mut mem, &st2))
         });
     });
+
+    // Telemetry neutrality guard: the disabled collector must run within
+    // noise of plain `run_timed` (which itself routes through a disabled
+    // collector), while the enabled collector shows the true cost of
+    // full recording.
+    group.bench_function("timed_st2_tele_disabled/pathfinder", |b| {
+        b.iter(|| {
+            let mut mem = spec.memory.clone();
+            let mut tele = Telemetry::disabled();
+            black_box(run_timed_with_telemetry(
+                &spec.program,
+                spec.launch,
+                &mut mem,
+                &st2,
+                &mut tele,
+            ))
+        });
+    });
+    group.bench_function("timed_st2_tele_enabled/pathfinder", |b| {
+        b.iter(|| {
+            let mut mem = spec.memory.clone();
+            let mut tele = Telemetry::for_run(st2.num_sms as usize, TelemetryConfig::default());
+            black_box(run_timed_with_telemetry(
+                &spec.program,
+                spec.launch,
+                &mut mem,
+                &st2,
+                &mut tele,
+            ))
+        });
+    });
     group.finish();
 }
 

@@ -117,7 +117,10 @@ fn main() {
         };
         println!("window {window} bits: miss {:>6}", pct(avg_rate(cfg)));
         let with_peek = SpeculationConfig { peek: true, ..cfg };
-        println!("window {window} + Peek : miss {:>6}", pct(avg_rate(with_peek)));
+        println!(
+            "window {window} + Peek : miss {:>6}",
+            pct(avg_rate(with_peek))
+        );
     }
     println!("→ operand windows beat static guesses but not history: correlation");
     println!("  lives across *time*, not within one operand pair.");

@@ -39,7 +39,10 @@ fn main() {
         .collect();
 
     println!("hot-loop producing PCs: {hot:?}\n");
-    println!("{:<6} {:>12} {:>12} {:>12} {:>12}", "PC", "iter1", "iter2", "iter3", "iter4");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}",
+        "PC", "iter1", "iter2", "iter3", "iter4"
+    );
     for &pc in &hot {
         let s = out.trace.for_pc(pc);
         let v: Vec<String> = s.iter().take(4).map(|e| e.value.to_string()).collect();
@@ -67,8 +70,14 @@ fn main() {
         in_order.push((w[1].value - w[0].value).unsigned_abs());
     }
     let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
-    println!("\navg |Δ| same PC, consecutive iterations : {:>12.1}", avg(&same_pc));
-    println!("avg |Δ| consecutive instructions (order): {:>12.1}", avg(&in_order));
+    println!(
+        "\navg |Δ| same PC, consecutive iterations : {:>12.1}",
+        avg(&same_pc)
+    );
+    println!(
+        "avg |Δ| consecutive instructions (order): {:>12.1}",
+        avg(&in_order)
+    );
     println!(
         "ratio (order / same-PC)                 : {:>12.1}x",
         avg(&in_order) / avg(&same_pc).max(1.0)

@@ -9,7 +9,9 @@
 //! Run: `cargo run --release -p st2-bench --bin fig5 [--scale test]`
 
 use st2::core::dse::{fig5_design_points, sweep};
-use st2_bench::{artifact_dir_from_args, functional_suite, header, pct, scale_from_args, write_csv};
+use st2_bench::{
+    artifact_dir_from_args, functional_suite, header, pct, scale_from_args, write_csv,
+};
 
 fn main() {
     let scale = scale_from_args();

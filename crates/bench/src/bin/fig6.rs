@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run --release -p st2-bench --bin fig6 [--scale test]`
 
-use st2_bench::{artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv};
+use st2_bench::{
+    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
+};
 
 fn main() {
     let scale = scale_from_args();
@@ -56,7 +58,14 @@ fn main() {
         write_csv(
             &dir,
             "fig6",
-            &["kernel", "miss_rate", "recompute_per_miss", "static_fraction", "crf_writes", "crf_conflicts"],
+            &[
+                "kernel",
+                "miss_rate",
+                "recompute_per_miss",
+                "static_fraction",
+                "crf_writes",
+                "crf_conflicts",
+            ],
             &rows,
         );
     }

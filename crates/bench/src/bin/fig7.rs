@@ -10,7 +10,9 @@
 
 use st2::power::breakdown::summarize;
 use st2::prelude::*;
-use st2_bench::{artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv};
+use st2_bench::{
+    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
+};
 
 fn main() {
     let scale = scale_from_args();

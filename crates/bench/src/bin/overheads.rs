@@ -17,7 +17,10 @@ fn main() {
 
     header("§VI: storage overheads");
     let s = storage_overheads(&pop);
-    println!("CRF per SM            : {} B      (paper: 448 B)", s.crf_bytes_per_sm);
+    println!(
+        "CRF per SM            : {} B      (paper: 448 B)",
+        s.crf_bytes_per_sm
+    );
     println!(
         "CRF chip-wide         : {:.1} kB  (paper: ~35 kB)",
         s.crf_bytes_chip as f64 / 1024.0
@@ -47,17 +50,26 @@ fn main() {
     let ops_per_s = adders * 1.2e9 * 0.10;
     let ls = titan_v_shifter_overheads(ops_per_s);
     println!("shifters on chip      : {}", ls.count);
-    println!("area                  : {:.2} mm²  (paper: < 5.5 mm²)", ls.area_mm2);
+    println!(
+        "area                  : {:.2} mm²  (paper: < 5.5 mm²)",
+        ls.area_mm2
+    );
     println!(
         "fraction of 815 mm²   : {}     (paper: 0.68%)",
         pct(ls.area_frac_of_die)
     );
-    println!("static power          : {:.2} W    (paper: 0.6 W)", ls.static_power_w);
+    println!(
+        "static power          : {:.2} W    (paper: 0.6 W)",
+        ls.static_power_w
+    );
     println!(
         "dynamic @10% util     : {:.3} W   (paper's worst-case average: 470 µW–scale)",
         ls.worst_case_dynamic_w
     );
-    println!("delay per crossing    : {:.1} ps  (paper: 20.8 ps)", ls.delay_ps);
+    println!(
+        "delay per crossing    : {:.1} ps  (paper: 20.8 ps)",
+        ls.delay_ps
+    );
     println!("\nPaper's conclusion, reproduced: the overheads are negligible —");
     println!("tens of kB of state on a chip with ~35 MB of SRAM, a fraction of");
     println!("a percent of die area, and sub-watt shifter power.");

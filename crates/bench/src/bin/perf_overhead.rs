@@ -5,7 +5,9 @@
 //!
 //! Run: `cargo run --release -p st2-bench --bin perf_overhead [--scale test]`
 
-use st2_bench::{artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv};
+use st2_bench::{
+    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
+};
 
 fn main() {
     let scale = scale_from_args();

@@ -25,9 +25,15 @@ fn main() {
     let micro = stressors();
     println!("micro-benchmark stressors: {NUM_STRESSORS}");
     let model = calibrate(&energy, &micro, &mut oracle, cfg.clock_ghz);
-    println!("fitted P_const = {:.1} W, P_idleSM = {:.3} W", model.p_const_w, model.p_idle_sm_w);
+    println!(
+        "fitted P_const = {:.1} W, P_idleSM = {:.3} W",
+        model.p_const_w, model.p_idle_sm_w
+    );
     println!("fitted scale factors:");
-    for (c, s) in st2::power::component::all_components().iter().zip(model.scales.iter()) {
+    for (c, s) in st2::power::component::all_components()
+        .iter()
+        .zip(model.scales.iter())
+    {
         println!("  {c:<12} {s:.3}");
     }
     let truth = oracle.ground_truth().clone();
@@ -38,7 +44,10 @@ fn main() {
         .map(|(f, t)| ((f - t) / t).abs())
         .sum::<f64>()
         / model.scales.len() as f64;
-    println!("avg scale-factor recovery error vs hidden truth: {}", pct(scale_err));
+    println!(
+        "avg scale-factor recovery error vs hidden truth: {}",
+        pct(scale_err)
+    );
 
     header("§V-C: validation on the 23-kernel suite (never seen in training)");
     // The oracle "measures" a full TITAN V running the largest inputs;
@@ -52,7 +61,12 @@ fn main() {
     let pairs = timed_suite(scale, &cfg);
     let runs: Vec<(&str, st2::sim::ActivityCounters)> = pairs
         .iter()
-        .map(|p| (p.name, p.baseline.activity.extrapolated(CHIP_EVENTS, CHIP_SMS)))
+        .map(|p| {
+            (
+                p.name,
+                p.baseline.activity.extrapolated(CHIP_EVENTS, CHIP_SMS),
+            )
+        })
         .collect();
     let report = validate(&energy, &model, &runs, &mut oracle, cfg.clock_ghz);
     println!("kernels            : {}", report.kernels);

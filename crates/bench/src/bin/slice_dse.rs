@@ -17,7 +17,10 @@ fn main() {
     let ref_energy = ch.energy_per_op_fj(&reference, 64, 1.0);
 
     header("§V-B: slice-bitwidth design-space exploration");
-    println!("reference 64-bit adder: {:.0} ps critical path, {:.0} fJ/op", period, ref_energy);
+    println!(
+        "reference 64-bit adder: {:.0} ps critical path, {:.0} fJ/op",
+        period, ref_energy
+    );
     println!(
         "\n{:<8} {:>8} {:>10} {:>14} {:>14} {:>10}",
         "width", "slices", "Vmin/Vdd", "slice fJ", "64-bit fJ", "savings"

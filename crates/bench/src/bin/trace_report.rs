@@ -1,0 +1,62 @@
+//! `trace_report` — run one evaluation kernel on the ST² timed model
+//! with telemetry enabled and emit all three observability outputs:
+//!
+//! * `<kernel>.trace.json` — Chrome trace-event JSON (open in
+//!   `chrome://tracing` or Perfetto)
+//! * `<kernel>.metrics.jsonl` — one JSON metric per line
+//! * per-kernel text summary on stdout
+//!
+//! ```text
+//! cargo run --bin trace_report -- pathfinder [out_dir]
+//! ```
+//!
+//! Run with no arguments to list the available kernels.
+
+use std::process::ExitCode;
+
+use st2::prelude::*;
+use st2::telemetry::{chrome, jsonl, summary};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("usage: trace_report <kernel> [out_dir]");
+        eprintln!("available kernels:");
+        for spec in suite(Scale::Test) {
+            eprintln!("  {}", spec.name);
+        }
+        return ExitCode::FAILURE;
+    };
+    let out_dir = args.next().unwrap_or_else(|| ".".to_string());
+
+    let specs = suite(Scale::Test);
+    let Some(spec) = specs.into_iter().find(|s| s.name == name) else {
+        eprintln!("unknown kernel {name:?}; run with no arguments for the list");
+        return ExitCode::FAILURE;
+    };
+
+    let cfg = GpuConfig::scaled(2).with_st2();
+    let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
+    let mut mem = spec.memory.clone();
+    let out = run_timed_with_telemetry(&spec.program, spec.launch, &mut mem, &cfg, &mut tele);
+    if let Err(e) = spec.verify(&mem) {
+        eprintln!("warning: {name} failed output verification: {e}");
+    }
+
+    let trace_path = format!("{out_dir}/{name}.trace.json");
+    let jsonl_path = format!("{out_dir}/{name}.metrics.jsonl");
+    if let Err(e) = std::fs::write(&trace_path, chrome::export(&tele, spec.name)) {
+        eprintln!("cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&jsonl_path, jsonl::export(&tele, spec.name)) {
+        eprintln!("cannot write {jsonl_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", summary::render(&tele, spec.name));
+    println!("cycles (timed model)   : {}", out.cycles);
+    println!("chrome trace           : {trace_path}");
+    println!("metrics jsonl          : {jsonl_path}");
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use st2::prelude::*;
 use st2::sim::ActivityCounters;
 
@@ -47,10 +48,10 @@ pub struct FunctionalRun {
 pub fn functional_suite(scale: Scale, collect_records: bool) -> Vec<FunctionalRun> {
     let specs = suite(scale);
     let results: Mutex<Vec<(usize, FunctionalRun)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (i, spec) in specs.into_iter().enumerate() {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut mem = spec.memory.clone();
                 let out = run_functional(
                     &spec.program,
@@ -63,12 +64,14 @@ pub fn functional_suite(scale: Scale, collect_records: bool) -> Vec<FunctionalRu
                 );
                 spec.verify(&mem)
                     .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
-                results.lock().push((i, FunctionalRun { spec, out }));
+                results
+                    .lock()
+                    .expect("suite results lock")
+                    .push((i, FunctionalRun { spec, out }));
             });
         }
-    })
-    .expect("suite threads join");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("suite results lock");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }
@@ -109,11 +112,11 @@ pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
     let specs = suite(scale);
     let st2_cfg = cfg.with_st2();
     let results: Mutex<Vec<(usize, TimedPair)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (i, spec) in specs.into_iter().enumerate() {
             let results = &results;
             let cfg = *cfg;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut m1 = spec.memory.clone();
                 let baseline = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
                 let mut m2 = spec.memory.clone();
@@ -126,7 +129,7 @@ pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
                 );
                 spec.verify(&m1)
                     .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
-                results.lock().push((
+                results.lock().expect("suite results lock").push((
                     i,
                     TimedPair {
                         name: spec.name,
@@ -136,9 +139,8 @@ pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
                 ));
             });
         }
-    })
-    .expect("suite threads join");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("suite results lock");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }

@@ -228,7 +228,11 @@ mod tests {
     use super::*;
 
     fn check_adder(net: &Netlist, bits: u32) {
-        let m = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let m = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let cases = [
             (0u64, 0u64, false),
             (m, 1, false),
@@ -240,7 +244,11 @@ mod tests {
             let outs = net.eval(&pack_inputs(bits, a, b, cin));
             let (sum, cout) = unpack_outputs(bits, &outs);
             let wide = (a as u128) + (b as u128) + u128::from(cin);
-            assert_eq!(sum, (wide as u64) & m, "{bits}-bit sum of {a:#x}+{b:#x}+{cin}");
+            assert_eq!(
+                sum,
+                (wide as u64) & m,
+                "{bits}-bit sum of {a:#x}+{b:#x}+{cin}"
+            );
             assert_eq!(cout, wide >> bits & 1 == 1, "cout of {a:#x}+{b:#x}+{cin}");
         }
     }

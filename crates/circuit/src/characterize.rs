@@ -143,12 +143,18 @@ impl Characterizer {
     pub fn average_capacitance(&self, net: &Netlist, bits: u32) -> f64 {
         let mut rng = SplitMix64::new(self.seed);
         let mut sim = EventSim::new(net);
-        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let mut total = 0.0;
         for _ in 0..self.vectors {
             let a = rng.next_u64() & mask;
             let b = rng.next_u64() & mask;
-            total += sim.apply(&pack_inputs(bits, a, b, false)).switched_capacitance;
+            total += sim
+                .apply(&pack_inputs(bits, a, b, false))
+                .switched_capacitance;
         }
         total / self.vectors as f64
     }

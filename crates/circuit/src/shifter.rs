@@ -154,7 +154,11 @@ mod tests {
             0.0,
             TITAN_V_DIE_MM2,
         );
-        assert!(o.area_mm2 < 5.5, "area {} must be below 5.5 mm²", o.area_mm2);
+        assert!(
+            o.area_mm2 < 5.5,
+            "area {} must be below 5.5 mm²",
+            o.area_mm2
+        );
         assert!(o.area_frac_of_die < 0.0068 + 1e-4);
     }
 

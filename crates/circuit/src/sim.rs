@@ -223,9 +223,15 @@ mod tests {
         let mut sim = EventSim::new(&adder);
         let mut x = 123456789u64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = sim.apply(&pack_inputs(64, x, x.rotate_left(17), false));
-            assert!(r.settle_time <= cp, "settle {} > critical path {cp}", r.settle_time);
+            assert!(
+                r.settle_time <= cp,
+                "settle {} > critical path {cp}",
+                r.settle_time
+            );
         }
     }
 

@@ -6,6 +6,7 @@ use crate::config::SpeculationConfig;
 use crate::event::{AddRecord, OpContext};
 use crate::peek::{peek, PeekOutcome};
 use crate::predictor::{Predictor, PredictorActivity};
+use crate::sink::{EventSink, NullSink};
 use crate::slice::{evaluate, SliceEval};
 use crate::stats::AdderStats;
 
@@ -119,7 +120,6 @@ impl SpeculativeAdder {
         );
         self.add(&record.ctx, record.a, record.b, record.sub)
     }
-
 }
 
 /// One speculative operation against an externally owned predictor.
@@ -139,6 +139,34 @@ pub fn execute_op(
     sub: bool,
     stats: &mut AdderStats,
 ) -> AddOutcome {
+    execute_op_with_sink(
+        predictor,
+        config,
+        layout,
+        ctx,
+        a,
+        b,
+        sub,
+        stats,
+        &mut NullSink,
+    )
+}
+
+/// [`execute_op`] with an observer: the sink sees the completed outcome
+/// and the history-port activity of this one operation. Passing
+/// [`NullSink`] is equivalent to `execute_op` (one no-op virtual call).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_op_with_sink(
+    predictor: &mut Predictor,
+    config: &SpeculationConfig,
+    layout: SliceLayout,
+    ctx: &OpContext,
+    a: u64,
+    b: u64,
+    sub: bool,
+    stats: &mut AdderStats,
+    sink: &mut dyn EventSink,
+) -> AddOutcome {
     let (a_eff, b_eff, _) = effective_operands(layout, a, b, sub);
     let pk = if config.peek {
         peek(layout, a_eff, b_eff)
@@ -151,7 +179,13 @@ pub fn execute_op(
 
     let eval: SliceEval = evaluate(layout, a, b, sub, predictions, pk, config.recompute);
 
-    predictor.update(ctx, layout, eval.true_carries, eval.mispredicted, &mut activity);
+    predictor.update(
+        ctx,
+        layout,
+        eval.true_carries,
+        eval.mispredicted,
+        &mut activity,
+    );
 
     stats.ops += 1;
     if eval.mispredicted {
@@ -169,7 +203,7 @@ pub fn execute_op(
     stats.history_reads += activity.reads;
     stats.history_writes += activity.writes;
 
-    AddOutcome {
+    let outcome = AddOutcome {
         sum: eval.sum,
         carry_out: eval.carry_out,
         cycles: eval.cycles,
@@ -178,7 +212,12 @@ pub fn execute_op(
         errors: eval.error_count(),
         static_boundaries: pk.static_count(),
         true_carries: eval.true_carries,
+    };
+    sink.adder_op(ctx, layout, &outcome);
+    if activity.reads + activity.writes > 0 {
+        sink.history_activity(activity.reads, activity.writes);
     }
+    outcome
 }
 
 #[cfg(test)]

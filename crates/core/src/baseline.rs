@@ -78,10 +78,7 @@ impl BaselineAdder {
     /// Performs `a ± b`, returning the masked result.
     pub fn add(&mut self, a: u64, b: u64, sub: bool) -> u64 {
         let (a_eff, b_eff, cin) = effective_operands(self.layout, a, b, sub);
-        let sum = a_eff
-            .wrapping_add(b_eff)
-            .wrapping_add(u64::from(cin))
-            & self.layout.value_mask();
+        let sum = a_eff.wrapping_add(b_eff).wrapping_add(u64::from(cin)) & self.layout.value_mask();
         self.stats.ops += 1;
         self.stats.slice_computations += match self.kind {
             BaselineKind::Ripple => 1,
@@ -105,7 +102,11 @@ mod tests {
             (5, 9, true),
             (1 << 63, 1 << 63, false),
         ] {
-            let expect = if sub { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+            let expect = if sub {
+                a.wrapping_sub(b)
+            } else {
+                a.wrapping_add(b)
+            };
             assert_eq!(r.add(a, b, sub), expect);
             assert_eq!(c.add(a, b, sub), expect);
         }

@@ -332,7 +332,10 @@ mod tests {
             "Gtid+Prev+ModPC4+Peek"
         );
         assert_eq!(SpeculationConfig::st2().label(), "Ltid+Prev+ModPC4+Peek");
-        assert_eq!(SpeculationConfig::xor_hash().label(), "Ltid+Prev+XorPC4+Peek");
+        assert_eq!(
+            SpeculationConfig::xor_hash().label(),
+            "Ltid+Prev+XorPC4+Peek"
+        );
     }
 
     #[test]
@@ -354,6 +357,9 @@ mod tests {
             .table_entries(2048, l),
             None
         );
-        assert_eq!(SpeculationConfig::static_zero().table_entries(2048, l), Some(0));
+        assert_eq!(
+            SpeculationConfig::static_zero().table_entries(2048, l),
+            Some(0)
+        );
     }
 }

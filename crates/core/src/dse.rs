@@ -78,10 +78,7 @@ impl CorrelationResult {
 /// compare against, matching the paper's definition of temporal
 /// correlation.
 #[must_use]
-pub fn carry_correlation(
-    records: &[AddRecord],
-    scheme: CorrelationScheme,
-) -> CorrelationResult {
+pub fn carry_correlation(records: &[AddRecord], scheme: CorrelationScheme) -> CorrelationResult {
     let mut table = HistoryTable::new(scheme.pc_index, scheme.thread_key, 1);
     let mut seen = std::collections::HashSet::new();
     let mut result = CorrelationResult {
@@ -92,8 +89,7 @@ pub fn carry_correlation(
         let layout = rec.width.layout();
         let boundaries = layout.boundaries();
         let bm = mask(u32::from(boundaries));
-        let (a_eff, b_eff, cin0) =
-            crate::bits::effective_operands(layout, rec.a, rec.b, rec.sub);
+        let (a_eff, b_eff, cin0) = crate::bits::effective_operands(layout, rec.a, rec.b, rec.sub);
         let (_, carries) = crate::bits::carry_chain(layout, a_eff, b_eff, cin0);
         let truth = carries & bm;
         let key = table.key(&rec.ctx);
@@ -276,7 +272,10 @@ mod tests {
         let r2 = carry_correlation(&recs, fullpc_gtid).match_rate();
         let r3 = carry_correlation(&recs, fullpc_ltid).match_rate();
         assert!(r2 > r1, "FullPC+Gtid {r2} should beat Gtid-only {r1}");
-        assert!(r3 >= r2 - 0.02, "Ltid sharing {r3} should not collapse vs {r2}");
+        assert!(
+            r3 >= r2 - 0.02,
+            "Ltid sharing {r3} should not collapse vs {r2}"
+        );
         assert!(r2 > 0.8, "per-PC correlation should be strong, got {r2}");
     }
 
@@ -293,7 +292,12 @@ mod tests {
         );
         let rate = |i: usize| results[i].1.misprediction_rate();
         assert!(rate(2) < rate(1), "ST2 {} !< VaLHALLA {}", rate(2), rate(1));
-        assert!(rate(2) < rate(0), "ST2 {} !< staticZero {}", rate(2), rate(0));
+        assert!(
+            rate(2) < rate(0),
+            "ST2 {} !< staticZero {}",
+            rate(2),
+            rate(0)
+        );
     }
 
     #[test]

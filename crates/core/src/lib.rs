@@ -48,6 +48,7 @@
 //! - [`crf`] — the Carry Register File (16 × 224-bit, the paper's Fig. 4)
 //! - [`float`] — FP32/FP64 mantissa-operand extraction for FPU/DPU adders
 //! - [`event`] — portable add-event records consumed by analyses
+//! - [`sink`] — the [`EventSink`] observer trait higher layers hook into
 //! - [`dse`] — the design-space exploration of the paper's Fig. 3 and Fig. 5
 //! - [`stats`] — misprediction and activity statistics
 //! - [`baseline`] — non-speculative references (ripple, CSLA) for comparison
@@ -65,6 +66,7 @@ pub mod float;
 pub mod history;
 pub mod peek;
 pub mod predictor;
+pub mod sink;
 pub mod slice;
 pub mod stats;
 
@@ -78,4 +80,5 @@ pub use config::{
 };
 pub use crf::CarryRegisterFile;
 pub use event::{AddRecord, OpContext, WidthClass};
+pub use sink::{EventSink, NullSink};
 pub use stats::AdderStats;

@@ -209,7 +209,15 @@ mod tests {
         let a = 0x0123_4567_89ab_cdefu64;
         let b = 0x1111_2222_3333_4444u64;
         let (_, carries) = carry_chain(L, a, b, false);
-        let eval = evaluate(L, a, b, false, carries, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+        let eval = evaluate(
+            L,
+            a,
+            b,
+            false,
+            carries,
+            NO_PEEK,
+            RecomputePolicy::CutAtStaticPeek,
+        );
         assert!(!eval.mispredicted);
         assert_eq!(eval.cycles, 1);
         assert_eq!(eval.recomputed_slices(), 0);
@@ -282,7 +290,15 @@ mod tests {
     #[test]
     fn single_slice_layout_never_speculates() {
         let l = SliceLayout::new(8, 1);
-        let eval = evaluate(l, 200, 100, false, 0, NO_PEEK, RecomputePolicy::CutAtStaticPeek);
+        let eval = evaluate(
+            l,
+            200,
+            100,
+            false,
+            0,
+            NO_PEEK,
+            RecomputePolicy::CutAtStaticPeek,
+        );
         assert!(!eval.mispredicted);
         assert_eq!(eval.sum, 300 & l.value_mask());
     }

@@ -103,7 +103,10 @@ fn update_on_mispredict_keeps_stale_entries_until_needed() {
         let _ = adder.add(&c, 1_000 + i, 3, true);
     }
     let miss_phase1 = adder.stats().mispredicted_ops;
-    assert!(miss_phase1 <= 5, "phase 1 should stabilise, got {miss_phase1}");
+    assert!(
+        miss_phase1 <= 5,
+        "phase 1 should stabilise, got {miss_phase1}"
+    );
     // Phase 2: stable no-carry pattern (small adds).
     for i in 0..100u64 {
         let _ = adder.add(&c, i % 10, 3, false);
@@ -131,7 +134,10 @@ fn always_update_writes_more_but_predicts_no_better_on_stable_streams() {
     b.process_all(&stream);
     assert!(b.stats().history_writes > a.stats().history_writes * 5);
     let diff = (a.stats().misprediction_rate() - b.stats().misprediction_rate()).abs();
-    assert!(diff < 0.02, "policies should tie on a stable stream: {diff}");
+    assert!(
+        diff < 0.02,
+        "policies should tie on a stable stream: {diff}"
+    );
 }
 
 #[test]
@@ -193,7 +199,11 @@ fn lane_sharing_accelerates_warm_up() {
     let mut l = ConfigRunner::new(ltid);
     l.process_all(&stream);
     assert_eq!(s.stats().mispredicted_ops, 1, "shared: one cold miss total");
-    assert_eq!(l.stats().mispredicted_ops, 32, "ltid: one cold miss per lane");
+    assert_eq!(
+        l.stats().mispredicted_ops,
+        32,
+        "ltid: one cold miss per lane"
+    );
 }
 
 #[test]

@@ -387,7 +387,12 @@ impl KernelBuilder {
 
     /// Executes `then` where `cond != 0`, `els` elsewhere; reconverges
     /// after both.
-    pub fn if_else(&mut self, cond: Reg, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
+    pub fn if_else(
+        &mut self,
+        cond: Reg,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
         let bra_else = self.emit(Inst::Bra {
             cond: Some(BranchCond {
                 reg: cond,
@@ -412,11 +417,7 @@ impl KernelBuilder {
     /// `while cond { body }` — `cond` is regenerated each iteration and
     /// must return a predicate register; exited threads wait at the loop's
     /// post-dominator.
-    pub fn while_(
-        &mut self,
-        cond: impl FnOnce(&mut Self) -> Reg,
-        body: impl FnOnce(&mut Self),
-    ) {
+    pub fn while_(&mut self, cond: impl FnOnce(&mut Self) -> Reg, body: impl FnOnce(&mut Self)) {
         let start = self.here();
         let c = cond(self);
         let exit_bra = self.emit(Inst::Bra {
@@ -440,12 +441,7 @@ impl KernelBuilder {
     /// `for i in start..end { body(i) }` with a fresh iterator register
     /// incremented by the canonical loop-iterator `IADD` the paper's
     /// motivation section describes.
-    pub fn for_range(
-        &mut self,
-        start: Operand,
-        end: Operand,
-        body: impl FnOnce(&mut Self, Reg),
-    ) {
+    pub fn for_range(&mut self, start: Operand, end: Operand, body: impl FnOnce(&mut Self, Reg)) {
         let i = self.reg();
         self.mov(i, start);
         self.while_(
@@ -487,7 +483,12 @@ impl KernelBuilder {
         if !matches!(self.insts.last(), Some(Inst::Exit)) {
             self.emit(Inst::Exit);
         }
-        let p = Program::new(self.name, self.insts, self.next_reg.max(1), self.shared_bytes);
+        let p = Program::new(
+            self.name,
+            self.insts,
+            self.next_reg.max(1),
+            self.shared_bytes,
+        );
         p.validate().expect("builder produced an invalid program");
         p
     }
@@ -508,7 +509,11 @@ mod tests {
         });
         let p = k.finish();
         match p.insts()[0] {
-            Inst::Bra { target, reconv, cond } => {
+            Inst::Bra {
+                target,
+                reconv,
+                cond,
+            } => {
                 assert_eq!(target, 3, "skip both body instructions");
                 assert_eq!(reconv, 3);
                 assert!(!cond.expect("conditional").if_nonzero);

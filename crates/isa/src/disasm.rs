@@ -109,10 +109,22 @@ pub fn disasm_inst(inst: &Inst) -> String {
             format!("{}.i64   {d}, {}, {}", int_op_name(o), op(a), op(b))
         }
         Inst::Float { op: o, w, d, a, b } => {
-            format!("{}.{}   {d}, {}, {}", float_op_name(o), width_tag(w), op(a), op(b))
+            format!(
+                "{}.{}   {d}, {}, {}",
+                float_op_name(o),
+                width_tag(w),
+                op(a),
+                op(b)
+            )
         }
         Inst::Fma { w, d, a, b, c } => {
-            format!("fma.{}   {d}, {}, {}, {}", width_tag(w), op(a), op(b), op(c))
+            format!(
+                "fma.{}   {d}, {}, {}, {}",
+                width_tag(w),
+                op(a),
+                op(b),
+                op(c)
+            )
         }
         Inst::Sfu { op: o, d, a } => {
             let name = match o {

@@ -72,11 +72,7 @@ impl MemImage {
     #[must_use]
     pub fn read_u32(&self, addr: u64) -> u32 {
         let a = addr as usize;
-        u32::from_le_bytes(
-            self.data[a..a + 4]
-                .try_into()
-                .expect("4-byte slice"),
-        )
+        u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4-byte slice"))
     }
 
     /// Writes 4 bytes.
@@ -89,11 +85,7 @@ impl MemImage {
     #[must_use]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let a = addr as usize;
-        u64::from_le_bytes(
-            self.data[a..a + 8]
-                .try_into()
-                .expect("8-byte slice"),
-        )
+        u64::from_le_bytes(self.data[a..a + 8].try_into().expect("8-byte slice"))
     }
 
     /// Writes 8 bytes.

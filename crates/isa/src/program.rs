@@ -40,7 +40,10 @@ impl fmt::Display for ValidateProgramError {
                 write!(f, "branch at pc {pc} targets out-of-range pc {target}")
             }
             ValidateProgramError::RegisterOutOfRange { pc, reg } => {
-                write!(f, "instruction at pc {pc} references register r{reg} out of range")
+                write!(
+                    f,
+                    "instruction at pc {pc} references register r{reg} out of range"
+                )
             }
         }
     }
@@ -51,7 +54,12 @@ impl std::error::Error for ValidateProgramError {}
 impl Program {
     /// Assembles a program (normally via [`crate::KernelBuilder`]).
     #[must_use]
-    pub fn new(name: impl Into<String>, insts: Vec<Inst>, num_regs: u16, shared_bytes: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        num_regs: u16,
+        shared_bytes: u64,
+    ) -> Self {
         Program {
             name: name.into(),
             insts,
@@ -148,7 +156,11 @@ impl Program {
                     check_op(pc, v)?;
                     check_reg(pc, addr)?;
                 }
-                Inst::Bra { cond, target, reconv } => {
+                Inst::Bra {
+                    cond,
+                    target,
+                    reconv,
+                } => {
                     if let Some(c) = cond {
                         check_reg(pc, c.reg)?;
                     }

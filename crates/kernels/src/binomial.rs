@@ -28,8 +28,7 @@ pub fn build(scale: Scale) -> KernelSpec {
     let t_base = 2 * x_base;
     let o_base = 3 * x_base;
     let scratch_base = 4 * x_base; // per-thread value array (STEPS+1 f32)
-    let mut memory =
-        MemImage::new(scratch_base + (options * (STEPS + 1) * 4) as u64);
+    let mut memory = MemImage::new(scratch_base + (options * (STEPS + 1) * 4) as u64);
     for i in 0..options {
         memory.write_f32(s_base + i as u64 * 4, spot[i]);
         memory.write_f32(x_base + i as u64 * 4, strike[i]);

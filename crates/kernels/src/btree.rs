@@ -71,11 +71,7 @@ fn cpu_find(tree: &Tree, q: i32) -> usize {
     node
 }
 
-fn emit_find(
-    k: &mut KernelBuilder,
-    q: Reg,
-    sep_base: u64,
-) -> Reg {
+fn emit_find(k: &mut KernelBuilder, q: Reg, sep_base: u64) -> Reg {
     // Walk the LEVELS internal levels (unrolled; level geometry is
     // compile-time constant, as in the Rodinia kernel's `height` loop
     // with known height).
@@ -88,16 +84,20 @@ fn emit_find(
         k.iadd(keys_at, keys_at.into(), Operand::Imm(level_base as i64));
         let child = k.reg();
         k.mov(child, Operand::Imm(0));
-        k.for_range(Operand::Imm(0), Operand::Imm((FANOUT - 1) as i64), |k, s| {
-            let ka = k.reg();
-            k.iadd(ka, keys_at.into(), s.into());
-            k.imul(ka, ka.into(), Operand::Imm(4));
-            let sep = k.reg();
-            k.ld_global_u32(sep, ka, sep_base as i64);
-            let ge = k.reg();
-            k.setle(ge, sep.into(), q.into());
-            k.iadd(child, child.into(), ge.into());
-        });
+        k.for_range(
+            Operand::Imm(0),
+            Operand::Imm((FANOUT - 1) as i64),
+            |k, s| {
+                let ka = k.reg();
+                k.iadd(ka, keys_at.into(), s.into());
+                k.imul(ka, ka.into(), Operand::Imm(4));
+                let sep = k.reg();
+                k.ld_global_u32(sep, ka, sep_base as i64);
+                let ge = k.reg();
+                k.setle(ge, sep.into(), q.into());
+                k.iadd(child, child.into(), ge.into());
+            },
+        );
         k.imul(node, node.into(), Operand::Imm(FANOUT as i64));
         k.iadd(node, node.into(), child.into());
         level_base += FANOUT.pow(level as u32) * (FANOUT - 1);

@@ -66,61 +66,61 @@ pub fn build(scale: Scale) -> KernelSpec {
             c
         },
         |k| {
-        let y = k.reg();
-        k.idiv(y, idx.into(), Operand::Imm(half as i64));
-        let i = k.reg();
-        k.irem(i, idx.into(), Operand::Imm(half as i64));
-        let row = k.reg();
-        k.imul(row, y.into(), Operand::Imm(w as i64));
+            let y = k.reg();
+            k.idiv(y, idx.into(), Operand::Imm(half as i64));
+            let i = k.reg();
+            k.irem(i, idx.into(), Operand::Imm(half as i64));
+            let row = k.reg();
+            k.imul(row, y.into(), Operand::Imm(w as i64));
 
-        // Loads x[clamp(2i+off)] from this row.
-        let load_x = |k: &mut KernelBuilder, base2i: Reg, off: i64, row: Reg| -> Reg {
-            let xi = k.reg();
-            k.iadd(xi, base2i.into(), Operand::Imm(off));
-            k.imax(xi, xi.into(), Operand::Imm(0));
-            k.imin(xi, xi.into(), Operand::Imm(w as i64 - 1));
-            let a = k.reg();
-            k.iadd(a, row.into(), xi.into());
-            k.imul(a, a.into(), Operand::Imm(4));
-            let v = k.reg();
-            k.ld_global_u32(v, a, 0);
-            v
-        };
-        // Computes detail at pair index (2i + shift).
-        let detail_at = |k: &mut KernelBuilder, base2i: Reg, shift: i64, row: Reg| -> Reg {
-            let x0 = load_x(k, base2i, shift, row);
-            let x1 = load_x(k, base2i, shift + 1, row);
-            let x2 = load_x(k, base2i, shift + 2, row);
+            // Loads x[clamp(2i+off)] from this row.
+            let load_x = |k: &mut KernelBuilder, base2i: Reg, off: i64, row: Reg| -> Reg {
+                let xi = k.reg();
+                k.iadd(xi, base2i.into(), Operand::Imm(off));
+                k.imax(xi, xi.into(), Operand::Imm(0));
+                k.imin(xi, xi.into(), Operand::Imm(w as i64 - 1));
+                let a = k.reg();
+                k.iadd(a, row.into(), xi.into());
+                k.imul(a, a.into(), Operand::Imm(4));
+                let v = k.reg();
+                k.ld_global_u32(v, a, 0);
+                v
+            };
+            // Computes detail at pair index (2i + shift).
+            let detail_at = |k: &mut KernelBuilder, base2i: Reg, shift: i64, row: Reg| -> Reg {
+                let x0 = load_x(k, base2i, shift, row);
+                let x1 = load_x(k, base2i, shift + 1, row);
+                let x2 = load_x(k, base2i, shift + 2, row);
+                let s = k.reg();
+                k.fadd(s, x0.into(), x2.into());
+                k.fmul(s, s.into(), Operand::f32(0.5));
+                let d = k.reg();
+                k.fsub(d, x1.into(), s.into());
+                d
+            };
+
+            let base2i = k.reg();
+            k.imul(base2i, i.into(), Operand::Imm(2));
+            let d = detail_at(k, base2i, 0, row);
+            let dm1 = detail_at(k, base2i, -2, row);
+            let x0 = load_x(k, base2i, 0, row);
+            let ds = k.reg();
+            k.fadd(ds, dm1.into(), d.into());
+            k.fmul(ds, ds.into(), Operand::f32(0.25));
             let s = k.reg();
-            k.fadd(s, x0.into(), x2.into());
-            k.fmul(s, s.into(), Operand::f32(0.5));
-            let d = k.reg();
-            k.fsub(d, x1.into(), s.into());
-            d
-        };
+            k.fadd(s, x0.into(), ds.into());
 
-        let base2i = k.reg();
-        k.imul(base2i, i.into(), Operand::Imm(2));
-        let d = detail_at(k, base2i, 0, row);
-        let dm1 = detail_at(k, base2i, -2, row);
-        let x0 = load_x(k, base2i, 0, row);
-        let ds = k.reg();
-        k.fadd(ds, dm1.into(), d.into());
-        k.fmul(ds, ds.into(), Operand::f32(0.25));
-        let s = k.reg();
-        k.fadd(s, x0.into(), ds.into());
-
-        // Store s to the low half, d to the high half of the output row.
-        let sa = k.reg();
-        k.iadd(sa, row.into(), i.into());
-        k.imul(sa, sa.into(), Operand::Imm(4));
-        k.st_global_u32(s.into(), sa, o_base as i64);
-        let da = k.reg();
-        k.iadd(da, row.into(), i.into());
-        k.iadd(da, da.into(), Operand::Imm(half as i64));
-        k.imul(da, da.into(), Operand::Imm(4));
-        k.st_global_u32(d.into(), da, o_base as i64);
-        k.iadd(idx, idx.into(), Operand::Imm(total_threads));
+            // Store s to the low half, d to the high half of the output row.
+            let sa = k.reg();
+            k.iadd(sa, row.into(), i.into());
+            k.imul(sa, sa.into(), Operand::Imm(4));
+            k.st_global_u32(s.into(), sa, o_base as i64);
+            let da = k.reg();
+            k.iadd(da, row.into(), i.into());
+            k.iadd(da, da.into(), Operand::Imm(half as i64));
+            k.imul(da, da.into(), Operand::Imm(4));
+            k.st_global_u32(d.into(), da, o_base as i64);
+            k.iadd(idx, idx.into(), Operand::Imm(total_threads));
         },
     );
 

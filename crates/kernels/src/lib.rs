@@ -63,7 +63,11 @@ pub(crate) mod testutil {
             &mut mem,
             &FunctionalOptions::default(),
         );
-        assert!(out.mix.total() > 0, "{}: kernel executed nothing", spec.name);
+        assert!(
+            out.mix.total() > 0,
+            "{}: kernel executed nothing",
+            spec.name
+        );
         if let Err(e) = spec.verify(&mem) {
             panic!("{} failed verification: {e}", spec.name);
         }

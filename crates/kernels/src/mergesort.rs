@@ -23,7 +23,10 @@ pub fn build_k1(scale: Scale) -> KernelSpec {
 
     let mut expect: Vec<i64> = Vec::with_capacity(n);
     for t in 0..threads {
-        let mut run: Vec<i64> = keys[t * RUN..(t + 1) * RUN].iter().map(|&x| i64::from(x)).collect();
+        let mut run: Vec<i64> = keys[t * RUN..(t + 1) * RUN]
+            .iter()
+            .map(|&x| i64::from(x))
+            .collect();
         run.sort_unstable();
         expect.extend(run);
     }

@@ -129,13 +129,7 @@ const A: [f32; 6] = [
     -30.664_798,
     2.506_628_3,
 ];
-const B: [f32; 5] = [
-    -54.476_1,
-    161.585_86,
-    -155.698_99,
-    66.801_31,
-    -13.280_68,
-];
+const B: [f32; 5] = [-54.476_1, 161.585_86, -155.698_99, 66.801_31, -13.280_68];
 
 fn inv_cnd_central(u: f32) -> f32 {
     let q = u - 0.5;
@@ -151,7 +145,9 @@ pub fn build_k2(scale: Scale) -> KernelSpec {
     let n = 1024 * scale.factor() as usize;
     // Uniform inputs in the central region (as the sample produces from
     // the quasirandom stage).
-    let u: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) / (n as f32 + 2.0)).collect();
+    let u: Vec<f32> = (0..n)
+        .map(|i| (i as f32 + 1.0) / (n as f32 + 2.0))
+        .collect();
     let mut memory = MemImage::from_f32(&u);
     memory.ensure_len((2 * n * 4) as u64);
     let o_base = (n * 4) as u64;
@@ -173,31 +169,31 @@ pub fn build_k2(scale: Scale) -> KernelSpec {
             c
         },
         |k| {
-        let ia = k.reg();
-        k.imul(ia, i.into(), Operand::Imm(4));
-        let uu = k.reg();
-        k.ld_global_u32(uu, ia, 0);
-        let q = k.reg();
-        k.fsub(q, uu.into(), Operand::f32(0.5));
-        let r = k.reg();
-        k.fmul(r, q.into(), q.into());
-        // Horner chains via FMA.
-        let num = k.reg();
-        k.mov(num, Operand::f32(A[0]));
-        for c in &A[1..] {
-            k.fmad(num, num.into(), r.into(), Operand::f32(*c));
-        }
-        let den = k.reg();
-        k.mov(den, Operand::f32(B[0]));
-        for c in &B[1..] {
-            k.fmad(den, den.into(), r.into(), Operand::f32(*c));
-        }
-        k.fmad(den, den.into(), r.into(), Operand::f32(1.0));
-        let out = k.reg();
-        k.fmul(out, num.into(), q.into());
-        k.fdiv(out, out.into(), den.into());
-        k.st_global_u32(out.into(), ia, o_base as i64);
-        k.iadd(i, i.into(), Operand::Imm(total_threads));
+            let ia = k.reg();
+            k.imul(ia, i.into(), Operand::Imm(4));
+            let uu = k.reg();
+            k.ld_global_u32(uu, ia, 0);
+            let q = k.reg();
+            k.fsub(q, uu.into(), Operand::f32(0.5));
+            let r = k.reg();
+            k.fmul(r, q.into(), q.into());
+            // Horner chains via FMA.
+            let num = k.reg();
+            k.mov(num, Operand::f32(A[0]));
+            for c in &A[1..] {
+                k.fmad(num, num.into(), r.into(), Operand::f32(*c));
+            }
+            let den = k.reg();
+            k.mov(den, Operand::f32(B[0]));
+            for c in &B[1..] {
+                k.fmad(den, den.into(), r.into(), Operand::f32(*c));
+            }
+            k.fmad(den, den.into(), r.into(), Operand::f32(1.0));
+            let out = k.reg();
+            k.fmul(out, num.into(), q.into());
+            k.fdiv(out, out.into(), den.into());
+            k.st_global_u32(out.into(), ia, o_base as i64);
+            k.iadd(i, i.into(), Operand::Imm(total_threads));
         },
     );
 

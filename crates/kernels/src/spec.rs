@@ -100,12 +100,7 @@ impl KernelSpec {
 /// # Errors
 ///
 /// Returns a description of the first mismatch.
-pub fn check_f32_region(
-    mem: &MemImage,
-    base: u64,
-    expect: &[f32],
-    tol: f32,
-) -> Result<(), String> {
+pub fn check_f32_region(mem: &MemImage, base: u64, expect: &[f32], tol: f32) -> Result<(), String> {
     for (i, &e) in expect.iter().enumerate() {
         let got = mem.read_f32(base + i as u64 * 4);
         let err = (got - e).abs();

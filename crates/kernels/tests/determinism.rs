@@ -58,7 +58,11 @@ fn full_scale_kernels_still_verify() {
         );
         spec.verify(&mem)
             .unwrap_or_else(|e| panic!("{} failed at full scale: {e}", spec.name));
-        assert!(out.mix.total() > 10_000, "{} too small at full scale", spec.name);
+        assert!(
+            out.mix.total() > 10_000,
+            "{} too small at full scale",
+            spec.name
+        );
     }
 }
 

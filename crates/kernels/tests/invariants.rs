@@ -30,7 +30,10 @@ fn bitonic_sort_outputs_are_sorted_permutations() {
         let output: Vec<i64> = (0..tile)
             .map(|i| after.read_i32_sext(((t * tile + i) * 4) as u64))
             .collect();
-        assert!(output.windows(2).all(|w| w[0] <= w[1]), "tile {t} not sorted");
+        assert!(
+            output.windows(2).all(|w| w[0] <= w[1]),
+            "tile {t} not sorted"
+        );
         input.sort_unstable();
         assert_eq!(input, output, "tile {t} is not a permutation of its input");
     }
@@ -51,7 +54,10 @@ fn merge_outputs_are_sorted_permutations_of_their_runs() {
         let output: Vec<i64> = (0..run_len)
             .map(|i| after.read_i32_sext(out_base + ((p * run_len + i) * 4) as u64))
             .collect();
-        assert!(output.windows(2).all(|w| w[0] <= w[1]), "pair {p} not sorted");
+        assert!(
+            output.windows(2).all(|w| w[0] <= w[1]),
+            "pair {p} not sorted"
+        );
         input.sort_unstable();
         assert_eq!(input, output, "pair {p} not a permutation");
     }
@@ -100,7 +106,10 @@ fn pathfinder_costs_are_bounded_and_monotone() {
         );
         // The first-row wall is a lower bound for untouched edge columns.
         let first = before.read_i32_sext((c * 4) as u64);
-        assert!(cost >= first.min(max_w) - max_w, "col {c} implausibly cheap");
+        assert!(
+            cost >= first.min(max_w) - max_w,
+            "col {c} implausibly cheap"
+        );
     }
 }
 
@@ -140,8 +149,7 @@ fn kmeans_assignments_pick_a_closest_centre() {
             (0..features)
                 .map(|f| {
                     let p = f64::from(before.read_f32(((i * features + f) * 4) as u64));
-                    let q =
-                        f64::from(before.read_f32(c_base + ((c * features + f) * 4) as u64));
+                    let q = f64::from(before.read_f32(c_base + ((c * features + f) * 4) as u64));
                     (p - q) * (p - q)
                 })
                 .sum()
@@ -170,7 +178,11 @@ fn histogram_bins_cover_all_inputs() {
         assert!(c >= 0, "negative bin count");
         total += c;
     }
-    assert_eq!(total, (threads * per_thread) as i64, "counts must be conserved");
+    assert_eq!(
+        total,
+        (threads * per_thread) as i64,
+        "counts must be conserved"
+    );
 }
 
 #[test]

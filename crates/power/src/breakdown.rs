@@ -27,7 +27,10 @@ impl KernelEnergy {
         clock_ghz: f64,
     ) -> Self {
         let mut base_e = energy.component_energy(baseline, false, clock_ghz);
-        base_e.add(Component::Others, energy.static_energy_j(baseline, clock_ghz));
+        base_e.add(
+            Component::Others,
+            energy.static_energy_j(baseline, clock_ghz),
+        );
         let mut st2_e = energy.component_energy(st2, true, clock_ghz);
         st2_e.add(Component::Others, energy.static_energy_j(st2, clock_ghz));
         KernelEnergy {
@@ -119,7 +122,10 @@ pub fn summarize(kernels: &[KernelEnergy]) -> SuiteSummary {
     assert!(!kernels.is_empty(), "no kernels to summarise");
     let n = kernels.len() as f64;
     let avg = |f: &dyn Fn(&KernelEnergy) -> f64| kernels.iter().map(f).sum::<f64>() / n;
-    let intense: Vec<&KernelEnergy> = kernels.iter().filter(|k| k.is_arithmetic_intense()).collect();
+    let intense: Vec<&KernelEnergy> = kernels
+        .iter()
+        .filter(|k| k.is_arithmetic_intense())
+        .collect();
     let ni = intense.len().max(1) as f64;
     SuiteSummary {
         kernels: kernels.len(),
@@ -178,7 +184,7 @@ mod tests {
     #[test]
     fn summary_separates_intense_kernels() {
         let ks = vec![
-            fake("hot", 2.0, 0.6, 0.5),  // share 2/3.5 = 0.57 -> intense
+            fake("hot", 2.0, 0.6, 0.5),   // share 2/3.5 = 0.57 -> intense
             fake("cold", 0.1, 0.03, 3.0), // share 0.1/4.1 -> not intense
         ];
         let s = summarize(&ks);

@@ -69,10 +69,7 @@ mod tests {
         let truth = oracle.ground_truth().clone();
         let fit = calibrate(&energy, &stressors(), &mut oracle, 1.2);
         for (f, t) in fit.scales.iter().zip(truth.scales.iter()) {
-            assert!(
-                (f - t).abs() / t < 0.25,
-                "scale {f} too far from truth {t}"
-            );
+            assert!((f - t).abs() / t < 0.25, "scale {f} too far from truth {t}");
         }
     }
 }

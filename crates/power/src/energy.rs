@@ -11,8 +11,8 @@ use crate::component::{component_index, Component, NUM_COMPONENTS};
 use serde::{Deserialize, Serialize};
 use st2_circuit::characterize::AdderEnergyTable;
 use st2_circuit::Characterizer;
-use st2_sim::ActivityCounters;
 use st2_isa::InstClass;
+use st2_sim::ActivityCounters;
 
 /// Per-component energy of one kernel run, in joules.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -136,7 +136,9 @@ impl EnergyModel {
     pub fn characterized() -> Self {
         EnergyModel {
             coeff: EnergyCoefficients::default(),
-            adders: Characterizer::default_90nm().with_vectors(200).adder_energy_table(),
+            adders: Characterizer::default_90nm()
+                .with_vectors(200)
+                .adder_energy_table(),
         }
     }
 
@@ -191,7 +193,10 @@ impl EnergyModel {
         let adder_other = act
             .adder_int_ops
             .saturating_sub(act.mix.count(InstClass::AluAdd));
-        let logic = act.mix.count(InstClass::AluOther).saturating_sub(adder_other);
+        let logic = act
+            .mix
+            .count(InstClass::AluOther)
+            .saturating_sub(adder_other);
         e.add(Component::AluFpu, logic as f64 * c.alu_logic_fj * FJ);
         // FP exponent/align/normalise overhead around the mantissa adder.
         e.add(

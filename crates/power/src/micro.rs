@@ -144,8 +144,14 @@ mod tests {
     fn stressors_emphasise_their_target() {
         // A DRAM stressor must move more DRAM traffic than an ALU one.
         let s = stressors();
-        let dram = s.iter().find(|x| x.target == Component::Dram).expect("dram");
-        let alu = s.iter().find(|x| x.target == Component::AluFpu).expect("alu");
+        let dram = s
+            .iter()
+            .find(|x| x.target == Component::Dram)
+            .expect("dram");
+        let alu = s
+            .iter()
+            .find(|x| x.target == Component::AluFpu)
+            .expect("alu");
         assert!(dram.activity.dram_accesses > alu.activity.dram_accesses);
         assert!(alu.activity.adder_int_ops > dram.activity.adder_int_ops);
     }

@@ -105,7 +105,11 @@ mod tests {
             p_idle_sm_w: 1.0,
             scales: [1.0; NUM_COMPONENTS],
         };
-        let p = m.total_power_w(&ComponentEnergy::default(), &ActivityCounters::default(), 1.2);
+        let p = m.total_power_w(
+            &ComponentEnergy::default(),
+            &ActivityCounters::default(),
+            1.2,
+        );
         assert_eq!(p, 7.0);
     }
 }

@@ -106,6 +106,9 @@ mod tests {
         let spread = samples
             .iter()
             .fold(0.0f64, |acc, &s| acc.max((s - ideal).abs() / ideal));
-        assert!(spread > 0.02, "noise should be visible, max spread {spread}");
+        assert!(
+            spread > 0.02,
+            "noise should be visible, max spread {spread}"
+        );
     }
 }

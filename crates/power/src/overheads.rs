@@ -38,8 +38,8 @@ pub fn storage_overheads(pop: &AdderPopulation) -> StorageOverheads {
     let crf_chip = crf_per_sm * u64::from(pop.sms);
     let dff_bits = |slices: u64| 2 * (slices - 1);
     let alu = dff_bits(4); // 32-bit ALU: 4 slices... see note below
-    // The paper counts the general 64-bit case for ALUs (8 slices → 14
-    // bits); we follow the paper's arithmetic.
+                           // The paper counts the general 64-bit case for ALUs (8 slices → 14
+                           // bits); we follow the paper's arithmetic.
     let alu = alu.max(14);
     let fp32 = dff_bits(3); // 4 bits
     let fp64 = dff_bits(7); // 12 bits

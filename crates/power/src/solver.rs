@@ -14,7 +14,10 @@ pub fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "row count mismatch");
     let rows = a.len();
     let cols = a.first().map_or(0, Vec::len);
-    assert!(rows >= cols, "under-determined system ({rows} rows, {cols} cols)");
+    assert!(
+        rows >= cols,
+        "under-determined system ({rows} rows, {cols} cols)"
+    );
     assert!(a.iter().all(|r| r.len() == cols), "ragged matrix");
 
     // Column equilibration: power columns span orders of magnitude (mW

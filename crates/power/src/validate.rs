@@ -94,8 +94,10 @@ mod tests {
                     noc_flits: cycles * P * util / rng.random_range(1_000..10_000),
                     ..Default::default()
                 };
-                act.mix.add(st2_isa::InstClass::AluAdd, act.adder_int_ops / 2);
-                act.mix.add(st2_isa::InstClass::Mem, cycles * P * util / 3_200);
+                act.mix
+                    .add(st2_isa::InstClass::AluAdd, act.adder_int_ops / 2);
+                act.mix
+                    .add(st2_isa::InstClass::Mem, cycles * P * util / 3_200);
                 ("fake", act)
             })
             .collect()

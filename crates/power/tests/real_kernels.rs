@@ -13,7 +13,13 @@ fn kernel_energy(spec: &st2_kernels::KernelSpec, energy: &EnergyModel) -> Kernel
     let base = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
     let mut m2 = spec.memory.clone();
     let st2 = run_timed(&spec.program, spec.launch, &mut m2, &cfg.with_st2());
-    KernelEnergy::from_activities(spec.name, energy, &base.activity, &st2.activity, cfg.clock_ghz)
+    KernelEnergy::from_activities(
+        spec.name,
+        energy,
+        &base.activity,
+        &st2.activity,
+        cfg.clock_ghz,
+    )
 }
 
 #[test]
@@ -27,7 +33,11 @@ fn component_stacks_are_well_formed() {
         let k = kernel_energy(&spec, &energy);
         let stacks = k.stacks();
         let base_total: f64 = stacks.iter().map(|(_, b, _)| b).sum();
-        assert!((base_total - 1.0).abs() < 1e-9, "{}: stack sums to 1", k.name);
+        assert!(
+            (base_total - 1.0).abs() < 1e-9,
+            "{}: stack sums to 1",
+            k.name
+        );
         for (c, b, s) in &stacks {
             assert!(*b >= 0.0 && *s >= 0.0, "{}: negative {c} share", k.name);
         }
@@ -71,7 +81,11 @@ fn extrapolation_is_linear_in_events() {
     let e1 = energy.component_energy(&out.activity, false, cfg.clock_ghz);
     let e10 = energy.component_energy(&out.activity.extrapolated(10, 1), false, cfg.clock_ghz);
     for c in st2_power::component::all_components() {
-        let ratio = if e1.get(c) > 0.0 { e10.get(c) / e1.get(c) } else { 10.0 };
+        let ratio = if e1.get(c) > 0.0 {
+            e10.get(c) / e1.get(c)
+        } else {
+            10.0
+        };
         assert!(
             (ratio - 10.0).abs() < 1e-6,
             "{c}: extrapolation not linear (ratio {ratio})"

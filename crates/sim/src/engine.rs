@@ -13,6 +13,7 @@ use crate::stats::InstMix;
 use crate::trace::ValueTrace;
 use st2_core::AddRecord;
 use st2_isa::{LaunchConfig, MemImage, Program};
+use st2_telemetry::{tele_span, Telemetry};
 
 /// Options for a functional run.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +64,27 @@ pub fn run_functional(
     global: &mut MemImage,
     opts: &FunctionalOptions,
 ) -> FunctionalOutput {
+    run_functional_with_telemetry(program, launch, global, opts, &mut Telemetry::disabled())
+}
+
+/// [`run_functional`] with a telemetry collector observing the run.
+///
+/// The functional engine has no clock, so events are stamped with
+/// *logical time* — the running warp-instruction count. Each block batch
+/// becomes a span, warp issues and barriers are recorded, and the
+/// collector is finalized at the total instruction count (so "IPC" reads
+/// as instructions per logical step, ≈ 1).
+///
+/// # Panics
+///
+/// Same conditions as [`run_functional`].
+pub fn run_functional_with_telemetry(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    opts: &FunctionalOptions,
+    tele: &mut Telemetry,
+) -> FunctionalOutput {
     program.validate().expect("invalid program");
     let mut out = FunctionalOutput::default();
     let mut steps = 0u64;
@@ -72,9 +94,9 @@ pub fn run_functional(
 
     let mut next_block = 0u32;
     while next_block < launch.grid_dim {
-        let blocks: Vec<u32> =
-            (next_block..(next_block + batch).min(launch.grid_dim)).collect();
+        let blocks: Vec<u32> = (next_block..(next_block + batch).min(launch.grid_dim)).collect();
         next_block += batch;
+        let batch_start = out.warp_instructions;
 
         // Materialise the batch: per-block shared memory and warps.
         struct BlockRun {
@@ -120,15 +142,22 @@ pub fn run_functional(
                     };
                     let mut hooks = StepHooks {
                         records: opts.collect_records.then_some(&mut out.records),
-                        trace: opts
-                            .trace_gtid
-                            .map(|g| (&mut out.trace, g)),
+                        trace: opts.trace_gtid.map(|g| (&mut out.trace, g)),
                     };
                     let info = step(&mut run.warps[wi], &mut env, &mut hooks);
                     out.mix.add(info.class, u64::from(info.active_threads));
                     out.warp_instructions += 1;
                     steps += 1;
                     assert!(steps < opts.max_steps, "runaway kernel (step limit)");
+                    if tele.is_enabled() {
+                        // Logical time: the warp-instruction count.
+                        let t = out.warp_instructions;
+                        tele.issue(0, t, wi as u32, info.pc, info.pool_code());
+                        if info.barrier {
+                            tele.barrier(0, t, wi as u32);
+                        }
+                        tele.advance(t);
+                    }
                     if info.barrier {
                         run.at_barrier[wi] = true;
                     }
@@ -154,7 +183,15 @@ pub fn run_functional(
             runs.iter().all(|r| r.warps.iter().all(WarpCtx::is_done)),
             "batch finished with live warps (deadlocked barrier?)"
         );
+        tele_span!(
+            tele,
+            0,
+            "functional.batch",
+            batch_start,
+            out.warp_instructions - batch_start
+        );
     }
+    tele.finalize(out.warp_instructions);
     out
 }
 
@@ -202,7 +239,11 @@ mod tests {
         let (p, launch, mut g) = vecadd(n);
         let out = run_functional(&p, launch, &mut g, &FunctionalOptions::default());
         for i in 0..n {
-            assert_eq!(g.read_f32(u64::from(2 * n + i) * 4), 3.0 * i as f32, "c[{i}]");
+            assert_eq!(
+                g.read_f32(u64::from(2 * n + i) * 4),
+                3.0 * i as f32,
+                "c[{i}]"
+            );
         }
         assert!(out.mix.total() > u64::from(n) * 5);
         assert!(out.mix.count(st2_isa::InstClass::FpuAdd) >= u64::from(n));
@@ -221,8 +262,16 @@ mod tests {
             },
         );
         use st2_core::WidthClass;
-        let fp = out.records.iter().filter(|r| r.width == WidthClass::Mant24).count();
-        let int = out.records.iter().filter(|r| r.width == WidthClass::Int64).count();
+        let fp = out
+            .records
+            .iter()
+            .filter(|r| r.width == WidthClass::Mant24)
+            .count();
+        let int = out
+            .records
+            .iter()
+            .filter(|r| r.width == WidthClass::Int64)
+            .count();
         assert!(fp >= 200, "fp adds recorded: {fp}");
         assert!(int >= 256, "int address adds recorded: {int}");
     }

@@ -36,7 +36,13 @@ pub struct WarpCtx {
 impl WarpCtx {
     /// Creates a warp with zeroed registers.
     #[must_use]
-    pub fn new(warp_in_block: u32, block_id: u32, gtid_base: u64, lanes: u32, num_regs: u16) -> Self {
+    pub fn new(
+        warp_in_block: u32,
+        block_id: u32,
+        gtid_base: u64,
+        lanes: u32,
+        num_regs: u16,
+    ) -> Self {
         let lanes = lanes.clamp(1, 32);
         WarpCtx {
             warp_in_block,
@@ -149,6 +155,22 @@ pub struct StepInfo {
     pub barrier: bool,
 }
 
+impl StepInfo {
+    /// The functional-unit pool code used in telemetry issue events
+    /// (see `st2_telemetry::event::pool_name`), inferred from the
+    /// instruction class.
+    #[must_use]
+    pub fn pool_code(&self) -> u8 {
+        match self.class {
+            InstClass::FpuAdd | InstClass::FpuOther => 1,
+            InstClass::IntMulDiv | InstClass::FpMulDiv => 3,
+            InstClass::Sfu => 4,
+            InstClass::Mem => 5,
+            _ => 0,
+        }
+    }
+}
+
 /// Mutable execution environment shared by a block's warps.
 pub struct ExecEnv<'a> {
     /// The kernel.
@@ -231,10 +253,7 @@ pub fn step(warp: &mut WarpCtx, env: &mut ExecEnv<'_>, hooks: &mut StepHooks<'_>
     let pc = warp.stack.pc();
     let mask = warp.stack.active_mask();
     let active = mask.count_ones();
-    let inst = *env
-        .program
-        .fetch(pc)
-        .unwrap_or(&Inst::Exit); // falling off the end exits
+    let inst = *env.program.fetch(pc).unwrap_or(&Inst::Exit); // falling off the end exits
 
     let mut info = StepInfo {
         pc,

@@ -31,7 +31,9 @@ pub mod timed;
 pub mod trace;
 
 pub use config::{GpuConfig, SchedulerKind};
-pub use engine::{run_functional, FunctionalOptions, FunctionalOutput};
+pub use engine::{
+    run_functional, run_functional_with_telemetry, FunctionalOptions, FunctionalOutput,
+};
 pub use stats::{ActivityCounters, InstMix, SimStats};
-pub use timed::{run_timed, TimedOutput};
+pub use timed::{run_timed, run_timed_with_telemetry, TimedOutput};
 pub use trace::ValueTrace;

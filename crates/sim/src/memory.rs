@@ -84,6 +84,21 @@ pub struct AccessResult {
     pub l2_hit: bool,
 }
 
+impl AccessResult {
+    /// The hierarchy level that served the transaction:
+    /// 0 = L1, 1 = L2, 2 = DRAM (telemetry encoding).
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        if self.l1_hit {
+            0
+        } else if self.l2_hit {
+            1
+        } else {
+            2
+        }
+    }
+}
+
 impl MemoryHierarchy {
     /// Builds the hierarchy for a GPU configuration.
     #[must_use]

@@ -223,7 +223,7 @@ mod tests {
         s.branch(0b01, 5, 1, 8);
         assert_eq!(s.active_mask(), 0b10);
         s.exit_threads(0b10); // active path dies
-        // Taken path (lane 0) remains at pc 5.
+                              // Taken path (lane 0) remains at pc 5.
         assert_eq!(s.active_mask(), 0b01);
         assert_eq!(s.pc(), 5);
         s.exit_threads(0b01);

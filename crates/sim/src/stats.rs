@@ -271,6 +271,89 @@ mod tests {
         assert_eq!(a.adder_ops(), 3);
     }
 
+    /// Builds counters with every field a distinct prime, scaled by its
+    /// extrapolation category: `e` for per-event counts, `s` for
+    /// SM-cycle counts, `c` for fields `extrapolated` leaves unscaled.
+    ///
+    /// The literals are deliberately exhaustive (no
+    /// `..Default::default()`): adding a field to `ActivityCounters` or
+    /// `AdderStats` breaks this function at compile time, forcing the
+    /// drift-guard expectations below to be revisited along with
+    /// `merge` and `extrapolated`.
+    fn primed(e: u64, s: u64, c: u64) -> ActivityCounters {
+        let mut mix = InstMix::default();
+        let mix_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29];
+        for (class, p) in st2_isa::inst::all_classes().into_iter().zip(mix_primes) {
+            mix.add(class, p * e);
+        }
+        ActivityCounters {
+            mix,
+            warp_instructions: 31 * e,
+            regfile_reads: 37 * e,
+            regfile_writes: 41 * e,
+            adder_int_ops: 43 * e,
+            adder_f32_ops: 47 * e,
+            adder_f64_ops: 53 * e,
+            fma_ops: 59 * e,
+            l1_accesses: 61 * e,
+            l1_misses: 67 * e,
+            l2_accesses: 71 * e,
+            l2_misses: 73 * e,
+            dram_accesses: 79 * e,
+            noc_flits: 83 * e,
+            shared_accesses: 89 * e,
+            shared_bank_conflicts: 97 * e,
+            cycles: 101 * c,
+            active_sm_cycles: 103 * s,
+            idle_sm_cycles: 107 * s,
+            stall_cycles: 109 * e,
+            adder: AdderStats {
+                ops: 113 * e,
+                mispredicted_ops: 127 * e,
+                extra_cycles: 131 * e,
+                static_boundaries: 137 * e,
+                dynamic_boundaries: 139 * e,
+                boundary_errors: 149 * e,
+                slices_cycle1: 151 * e,
+                slices_recomputed: 157 * e,
+                max_recomputed_in_op: u32::try_from(163 * c).unwrap(),
+                history_reads: 167 * e,
+                history_writes: 173 * e,
+            },
+            crf_reads: 179 * e,
+            crf_writes: 181 * e,
+            crf_conflicts: 191 * e,
+        }
+    }
+
+    #[test]
+    fn merge_round_trips_every_field() {
+        let mut a = primed(1, 1, 1);
+        a.merge(&primed(1, 1, 1));
+        // Every field doubles on merge except the running maximum, which
+        // takes the larger of two equal values. `cycles` sums (merge
+        // accumulates across kernels).
+        let mut expected = primed(2, 2, 2);
+        expected.adder.max_recomputed_in_op = 163;
+        assert_eq!(a, expected, "merge dropped or mis-folded a field");
+    }
+
+    #[test]
+    fn extrapolated_round_trips_every_field() {
+        let base = primed(1, 1, 1);
+        let out = base.extrapolated(3, 5);
+        // Event counts scale by the event factor, SM-cycle counts by the
+        // SM factor; wall-clock cycles and the per-op maximum are
+        // intentionally unscaled.
+        assert_eq!(
+            out,
+            primed(3, 5, 1),
+            "extrapolated dropped or mis-scaled a field"
+        );
+        // And the original is untouched.
+        assert_eq!(base, primed(1, 1, 1));
+    }
+
     #[test]
     fn class_indices_are_distinct() {
         let mut seen = [false; NUM_CLASSES];

@@ -13,11 +13,13 @@ use crate::config::GpuConfig;
 use crate::exec::{step, ExecEnv, StepHooks, WarpAdderOp, WarpCtx};
 use crate::memory::{coalesce, MemoryHierarchy};
 use crate::stats::ActivityCounters;
-use st2_core::adder::execute_op;
+use st2_core::adder::execute_op_with_sink;
 use st2_core::event::OpContext;
 use st2_core::predictor::Predictor;
+use st2_core::sink::EventSink;
 use st2_core::SpeculationConfig;
 use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
+use st2_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// Result of a timed run.
@@ -64,9 +66,17 @@ impl SmSpec {
 
     /// Runs a warp's lane adds through the speculative adders; returns
     /// whether any lane mispredicted (stalling the warp one cycle).
-    fn process(&mut self, op: &WarpAdderOp, act: &mut ActivityCounters, now: u64) -> bool {
+    /// Adder/CRF activity is mirrored into `sink`.
+    fn process(
+        &mut self,
+        op: &WarpAdderOp,
+        act: &mut ActivityCounters,
+        now: u64,
+        sink: &mut dyn EventSink,
+    ) -> bool {
         let layout = op.width.layout();
         act.crf_reads += 1; // one row read per warp operation
+        sink.crf_read(op.pc);
         let mut any = false;
         for lane in &op.lanes {
             let ctx = OpContext {
@@ -74,7 +84,7 @@ impl SmSpec {
                 gtid: lane.gtid as u32,
                 ltid: lane.lane,
             };
-            let out = execute_op(
+            let out = execute_op_with_sink(
                 &mut self.predictor,
                 &self.config,
                 layout,
@@ -83,6 +93,7 @@ impl SmSpec {
                 lane.b,
                 lane.sub,
                 &mut act.adder,
+                sink,
             );
             any |= out.mispredicted;
         }
@@ -91,11 +102,13 @@ impl SmSpec {
             // row write per warp; same-cycle writes to the same row from
             // different warps contend (random arbitration in hardware).
             let row = op.pc & 0xF;
-            if self.row_writes.get(&row) == Some(&now) {
+            let conflict = self.row_writes.get(&row) == Some(&now);
+            if conflict {
                 act.crf_conflicts += 1;
             }
             self.row_writes.insert(row, now);
             act.crf_writes += 1;
+            sink.crf_write(op.pc, conflict);
         }
         any
     }
@@ -119,6 +132,21 @@ enum Pool {
     MulDiv,
     Sfu,
     Ldst,
+}
+
+impl Pool {
+    /// The pool code used in telemetry issue events
+    /// (see `st2_telemetry::event::pool_name`).
+    fn telemetry_code(self) -> u8 {
+        match self {
+            Pool::Alu => 0,
+            Pool::Fpu => 1,
+            Pool::Dpu => 2,
+            Pool::MulDiv => 3,
+            Pool::Sfu => 4,
+            Pool::Ldst => 5,
+        }
+    }
 }
 
 /// Registers read and written by an instruction (for the scoreboard).
@@ -178,8 +206,12 @@ fn pool_of(inst: &Inst) -> Pool {
             (_, FloatWidth::F32) => Pool::Fpu,
             (_, FloatWidth::F64) => Pool::Dpu,
         },
-        Inst::Fma { w: FloatWidth::F32, .. } => Pool::Fpu,
-        Inst::Fma { w: FloatWidth::F64, .. } => Pool::Dpu,
+        Inst::Fma {
+            w: FloatWidth::F32, ..
+        } => Pool::Fpu,
+        Inst::Fma {
+            w: FloatWidth::F64, ..
+        } => Pool::Dpu,
         Inst::Sfu { .. } => Pool::Sfu,
         Inst::Ld { .. } | Inst::St { .. } => Pool::Ldst,
         _ => Pool::Alu,
@@ -197,6 +229,26 @@ pub fn run_timed(
     launch: LaunchConfig,
     global: &mut MemImage,
     cfg: &GpuConfig,
+) -> TimedOutput {
+    run_timed_with_telemetry(program, launch, global, cfg, &mut Telemetry::disabled())
+}
+
+/// [`run_timed`] with a telemetry collector observing the run.
+///
+/// Pass [`Telemetry::disabled`] (what [`run_timed`] does) for zero
+/// overhead, or an enabled collector from [`Telemetry::for_run`] to
+/// record scheduler, adder, CRF and memory events plus interval metric
+/// snapshots. The collector is [`Telemetry::finalize`]d before return.
+///
+/// # Panics
+///
+/// Same conditions as [`run_timed`].
+pub fn run_timed_with_telemetry(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    cfg: &GpuConfig,
+    tele: &mut Telemetry,
 ) -> TimedOutput {
     program.validate().expect("invalid program");
     let mut act = ActivityCounters::default();
@@ -335,11 +387,7 @@ pub fn run_timed(
                             ready_at = ready_at.max(w.reg_ready[usize::from(r.0)]);
                         }
                         let pool = pool_of(&inst);
-                        let pipe_free = sm.pipes[&pool]
-                            .iter()
-                            .copied()
-                            .min()
-                            .unwrap_or(u64::MAX);
+                        let pipe_free = sm.pipes[&pool].iter().copied().min().unwrap_or(u64::MAX);
                         let at = ready_at.max(pipe_free);
                         (at <= now, at)
                     }
@@ -431,7 +479,8 @@ pub fn run_timed(
                 // ST² speculation: a misprediction adds one recompute cycle
                 // to both occupancy (stall) and result latency.
                 if let (Some(spec), Some(op)) = (sm.spec.as_mut(), info.adder.as_ref()) {
-                    if spec.process(op, &mut act, now) {
+                    tele.set_context(sm_idx, now);
+                    if spec.process(op, &mut act, now, tele) {
                         interval += 1;
                         latency += 1;
                         act.stall_cycles += 1;
@@ -442,8 +491,7 @@ pub fn run_timed(
                 if let Some(m) = &info.mem {
                     match m.space {
                         Space::Shared => {
-                            let degree =
-                                u64::from(crate::memory::bank_conflict_degree(&m.addrs));
+                            let degree = u64::from(crate::memory::bank_conflict_degree(&m.addrs));
                             act.shared_accesses += degree;
                             if degree > 1 {
                                 act.shared_bank_conflicts += degree - 1;
@@ -456,6 +504,7 @@ pub fn run_timed(
                             let mut worst = 0u32;
                             for seg in &segs {
                                 let r = mem.access(sm_idx, *seg, &mut act);
+                                tele.mem_access(sm_idx, now, *seg, r.latency, r.level());
                                 worst = worst.max(r.latency);
                             }
                             latency = u64::from(worst);
@@ -470,10 +519,7 @@ pub fn run_timed(
 
                 // Occupy the pipe.
                 let pipes = sm.pipes.get_mut(&pool).expect("pool exists");
-                let pipe = pipes
-                    .iter_mut()
-                    .min()
-                    .expect("pools are non-empty");
+                let pipe = pipes.iter_mut().min().expect("pools are non-empty");
                 *pipe = now + interval;
 
                 // Scoreboard.
@@ -488,8 +534,10 @@ pub fn run_timed(
                     if let Some(bs) = sm.slots[slot].as_mut() {
                         bs.warps_waiting += 1;
                     }
+                    tele.barrier(sm_idx, now, wi as u32);
                 }
 
+                tele.issue(sm_idx, now, wi as u32, pc, pool.telemetry_code());
                 sm.last_issued = Some(wi);
                 issued_this_sm += 1;
                 any_issued = true;
@@ -559,10 +607,12 @@ pub fn run_timed(
         act.active_sm_cycles += busy_sms * dt;
         act.idle_sm_cycles += idle_sms * dt;
         now = next_now;
+        tele.advance(now);
         assert!(now < max_cycles, "simulation exceeded cycle limit");
     }
 
     act.cycles = now;
+    tele.finalize(now);
     TimedOutput {
         cycles: now,
         activity: act,
@@ -630,8 +680,15 @@ mod tests {
         let mut g2 = g1.clone();
         let base = run_timed(&p, launch, &mut g1, &GpuConfig::scaled(2));
         let st2 = run_timed(&p, launch, &mut g2, &GpuConfig::scaled(2).with_st2());
-        assert_eq!(g1.as_bytes(), g2.as_bytes(), "speculation never changes results");
-        assert!(st2.activity.adder.ops > 0, "speculative adders were exercised");
+        assert_eq!(
+            g1.as_bytes(),
+            g2.as_bytes(),
+            "speculation never changes results"
+        );
+        assert!(
+            st2.activity.adder.ops > 0,
+            "speculative adders were exercised"
+        );
         // This kernel is deliberately adversarial: it saturates the ALU
         // pipes with back-to-back dependent adds, so every warp-level
         // misprediction converts directly into an extra cycle. Real

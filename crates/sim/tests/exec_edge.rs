@@ -87,7 +87,9 @@ fn nan_propagates_through_fp_pipeline_without_adder_records() {
     assert!(mem.read_f32(0).is_nan(), "NaN + 1 is NaN");
     // The NaN-fed FADD skips the mantissa adder (special-case path).
     assert!(
-        out.records.iter().all(|r| r.width == st2_core::WidthClass::Int64),
+        out.records
+            .iter()
+            .all(|r| r.width == st2_core::WidthClass::Int64),
         "no mantissa records from NaN inputs"
     );
 }

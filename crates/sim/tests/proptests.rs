@@ -3,10 +3,10 @@
 //! kernels.
 
 use proptest::prelude::*;
+use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
 use st2_sim::memory::coalesce;
 use st2_sim::simt::{full_mask, SimtStack};
 use st2_sim::{run_functional, run_timed, FunctionalOptions, GpuConfig};
-use st2_isa::{KernelBuilder, LaunchConfig, MemImage, Operand, Special};
 
 proptest! {
     /// Coalescing: every lane's address is covered by exactly one segment,

@@ -12,6 +12,7 @@
 //! | [`kernels`] ([`st2_kernels`]) | the 23 evaluation kernels |
 //! | [`sim`] ([`st2_sim`]) | the cycle-level GPU simulator |
 //! | [`power`] ([`st2_power`]) | the GPUWattch-style power model |
+//! | [`telemetry`] ([`st2_telemetry`]) | cycle-level tracing, metrics, Chrome-trace/JSONL export |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@ pub use st2_isa as isa;
 pub use st2_kernels as kernels;
 pub use st2_power as power;
 pub use st2_sim as sim;
+pub use st2_telemetry as telemetry;
 
 /// The most common imports for using the reproduction.
 pub mod prelude {
@@ -47,7 +49,8 @@ pub mod prelude {
     pub use st2_kernels::{suite, BenchSuite, KernelSpec, Scale};
     pub use st2_power::{Component, EnergyModel, KernelEnergy, PowerModel, SiliconOracle};
     pub use st2_sim::{
-        run_functional, run_timed, FunctionalOptions, GpuConfig, SchedulerKind, TimedOutput,
-        ValueTrace,
+        run_functional, run_functional_with_telemetry, run_timed, run_timed_with_telemetry,
+        FunctionalOptions, GpuConfig, SchedulerKind, TimedOutput, ValueTrace,
     };
+    pub use st2_telemetry::{Telemetry, TelemetryConfig};
 }

@@ -1,0 +1,219 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON object format" of the Trace Event spec: a
+//! `traceEvents` array plus metadata, loadable in `chrome://tracing` or
+//! Perfetto. Simulated cycles map 1:1 to trace microseconds (`ts`), each
+//! SM becomes a thread (`tid`), and the interval series become counter
+//! tracks (`ph: "C"`).
+
+use crate::event::{pool_name, EventKind};
+use crate::json::Writer;
+use crate::Telemetry;
+
+fn meta_event(w: &mut Writer, name: &str, tid: Option<usize>, arg_name: &str) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("ph", "M");
+    w.field_u64("pid", 0);
+    if let Some(tid) = tid {
+        w.field_u64("tid", tid as u64);
+    }
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", arg_name);
+    w.end_object();
+    w.end_object();
+}
+
+fn complete_event(
+    w: &mut Writer,
+    name: &str,
+    cat: &str,
+    tid: usize,
+    ts: u64,
+    dur: u64,
+    args: &[(&str, u64)],
+) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", cat);
+    w.field_str("ph", "X");
+    w.field_u64("ts", ts);
+    w.field_u64("dur", dur.max(1));
+    w.field_u64("pid", 0);
+    w.field_u64("tid", tid as u64);
+    w.key("args");
+    w.begin_object();
+    for (k, v) in args {
+        w.field_u64(k, *v);
+    }
+    w.end_object();
+    w.end_object();
+}
+
+fn instant_event(w: &mut Writer, name: &str, cat: &str, tid: usize, ts: u64, args: &[(&str, u64)]) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", cat);
+    w.field_str("ph", "i");
+    w.field_str("s", "t");
+    w.field_u64("ts", ts);
+    w.field_u64("pid", 0);
+    w.field_u64("tid", tid as u64);
+    w.key("args");
+    w.begin_object();
+    for (k, v) in args {
+        w.field_u64(k, *v);
+    }
+    w.end_object();
+    w.end_object();
+}
+
+fn counter_event(w: &mut Writer, name: &str, ts: u64, value: f64) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("ph", "C");
+    w.field_u64("ts", ts);
+    w.field_u64("pid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field_f64("value", value);
+    w.end_object();
+    w.end_object();
+}
+
+/// Renders a finalized [`Telemetry`] into Chrome trace-event JSON.
+#[must_use]
+pub fn export(tele: &Telemetry, label: &str) -> String {
+    let mut w = Writer::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    meta_event(&mut w, "process_name", None, &format!("st2-sim {label}"));
+    for sm in 0..tele.rings().len() {
+        meta_event(&mut w, "thread_name", Some(sm), &format!("SM {sm}"));
+    }
+
+    for (sm, ring) in tele.rings().iter().enumerate() {
+        for ev in ring.iter_in_order() {
+            match ev.kind {
+                EventKind::SchedIssue { warp, pc, pool } => complete_event(
+                    &mut w,
+                    &format!("issue {}", pool_name(pool)),
+                    "sched",
+                    sm,
+                    ev.cycle,
+                    1,
+                    &[("warp", u64::from(warp)), ("pc", u64::from(pc))],
+                ),
+                EventKind::AdderMispredict {
+                    pc,
+                    slices_recomputed,
+                } => instant_event(
+                    &mut w,
+                    "adder mispredict",
+                    "adder",
+                    sm,
+                    ev.cycle,
+                    &[
+                        ("pc", u64::from(pc)),
+                        ("slices_recomputed", u64::from(slices_recomputed)),
+                    ],
+                ),
+                EventKind::CrfConflict { row } => instant_event(
+                    &mut w,
+                    "crf conflict",
+                    "crf",
+                    sm,
+                    ev.cycle,
+                    &[("row", u64::from(row))],
+                ),
+                EventKind::MemAccess {
+                    addr,
+                    latency,
+                    level,
+                } => complete_event(
+                    &mut w,
+                    match level {
+                        0 => "mem L1",
+                        1 => "mem L2",
+                        _ => "mem DRAM",
+                    },
+                    "mem",
+                    sm,
+                    ev.cycle,
+                    u64::from(latency),
+                    &[("addr", addr)],
+                ),
+                EventKind::Barrier { warp } => instant_event(
+                    &mut w,
+                    "barrier",
+                    "sched",
+                    sm,
+                    ev.cycle,
+                    &[("warp", u64::from(warp))],
+                ),
+                EventKind::Span { name, duration } => complete_event(
+                    &mut w,
+                    tele.span_name(name),
+                    "span",
+                    sm,
+                    ev.cycle,
+                    duration,
+                    &[],
+                ),
+            }
+        }
+    }
+
+    // Interval series as counter tracks.
+    let columns = tele.series().columns().to_vec();
+    for (ci, col) in columns.iter().enumerate() {
+        for p in tele.series().points() {
+            counter_event(&mut w, col, p.cycle, p.values[ci]);
+        }
+    }
+
+    w.end_array();
+    w.field_str("displayTimeUnit", "ns");
+    w.key("otherData");
+    w.begin_object();
+    w.field_str("kernel", label);
+    w.field_u64("cycles", tele.cycles());
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::TelemetryConfig;
+
+    #[test]
+    fn export_parses_and_has_schema_fields() {
+        let mut t = Telemetry::for_run(1, TelemetryConfig::default());
+        t.issue(0, 5, 2, 16, 0);
+        t.mem_access(0, 6, 4096, 120, 2);
+        t.barrier(0, 9, 2);
+        t.span(0, "phase", 0, 10);
+        t.finalize(100);
+        let text = export(&t, "unit");
+        let v = json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 6);
+        for e in events {
+            assert!(e.get("ph").is_some(), "every event has a phase");
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph != "M" {
+                assert!(e.get("ts").is_some(), "non-metadata events have ts");
+            }
+        }
+        assert_eq!(
+            v.get("otherData").unwrap().get("kernel").unwrap().as_str(),
+            Some("unit")
+        );
+    }
+}

@@ -1,0 +1,654 @@
+//! # st2-telemetry — observability for the ST² GPU reproduction
+//!
+//! Three layers, all behind one [`Telemetry`] handle:
+//!
+//! 1. **Events** ([`event`]) — cycle-stamped scheduler / adder / CRF /
+//!    memory events in a bounded per-SM ring buffer. Constant memory,
+//!    allocation-free on the hot path, compile-time removable via the
+//!    `compile-disabled` feature and the [`tele_event!`] / [`tele_span!`]
+//!    macros.
+//! 2. **Metrics** ([`metrics`]) — named counters, gauges and
+//!    log2-bucketed histograms, plus periodic interval snapshots so
+//!    quantities like adder prediction accuracy and IPC can be plotted
+//!    over simulated time.
+//! 3. **Exporters** ([`chrome`], [`jsonl`], [`summary`]) — Chrome
+//!    trace-event JSON (load in `chrome://tracing` or Perfetto), JSONL
+//!    metric dumps, and a human-readable per-kernel summary. JSON is
+//!    written and parsed by the in-tree [`json`] module (no external
+//!    serializer).
+//!
+//! The simulator reports into `Telemetry` through the
+//! [`st2_core::EventSink`] trait plus a handful of direct methods; a
+//! [`Telemetry::disabled`] instance allocates nothing and turns every
+//! callback into a branch on one bool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+pub mod summary;
+
+use std::collections::HashMap;
+
+use st2_core::adder::AddOutcome;
+use st2_core::bits::SliceLayout;
+use st2_core::event::OpContext;
+use st2_core::sink::EventSink;
+
+pub use event::{Event, EventKind, RingBuffer};
+pub use metrics::{Histogram, IntervalSeries, MetricsRegistry};
+
+/// Sizing and cadence knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Events retained per SM ring buffer.
+    pub ring_capacity: usize,
+    /// Cycles between interval snapshots.
+    pub interval_cycles: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 4096,
+            interval_cycles: 1024,
+        }
+    }
+}
+
+/// Ids of the metrics the simulator updates on its hot path, registered
+/// once at construction.
+#[derive(Debug, Clone, Copy)]
+struct HotIds {
+    warp_instructions: metrics::CounterId,
+    adder_ops: metrics::CounterId,
+    adder_mispredicts: metrics::CounterId,
+    history_reads: metrics::CounterId,
+    history_writes: metrics::CounterId,
+    crf_reads: metrics::CounterId,
+    crf_writes: metrics::CounterId,
+    crf_conflicts: metrics::CounterId,
+    l1_accesses: metrics::CounterId,
+    l1_misses: metrics::CounterId,
+    l2_misses: metrics::CounterId,
+    dram_accesses: metrics::CounterId,
+    barriers: metrics::CounterId,
+    recompute_slices: metrics::HistogramId,
+    issue_gap: metrics::HistogramId,
+    mem_latency: metrics::HistogramId,
+}
+
+/// Per-PC prediction bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct PcStat {
+    ops: u64,
+    mispredicts: u64,
+}
+
+/// Interval-snapshot baseline: cumulative values at the last snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+struct SnapshotBase {
+    cycle: u64,
+    ops: u64,
+    mispredicts: u64,
+    instructions: u64,
+}
+
+/// The telemetry collector for one simulation run.
+///
+/// Construct with [`Telemetry::for_run`] to collect, or
+/// [`Telemetry::disabled`] for a zero-cost stand-in (no allocation; every
+/// recording call returns after one bool test).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    enabled: bool,
+    config: TelemetryConfig,
+    rings: Vec<RingBuffer>,
+    registry: MetricsRegistry,
+    series: IntervalSeries,
+    span_names: Vec<String>,
+    ids: Option<HotIds>,
+    pc_stats: HashMap<u32, PcStat>,
+    last_issue: Vec<u64>,
+    cur_sm: usize,
+    cur_cycle: u64,
+    next_snapshot: u64,
+    base: SnapshotBase,
+    final_cycles: u64,
+}
+
+/// Interval-series column order (see [`Telemetry::series`]).
+pub const SERIES_COLUMNS: [&str; 4] = ["adder.accuracy", "adder.ops", "adder.mispredicts", "ipc"];
+
+impl Telemetry {
+    /// A disabled collector: allocates nothing, records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry {
+            enabled: false,
+            config: TelemetryConfig {
+                ring_capacity: 0,
+                interval_cycles: u64::MAX,
+            },
+            rings: Vec::new(),
+            registry: MetricsRegistry::new(),
+            series: IntervalSeries::default(),
+            span_names: Vec::new(),
+            ids: None,
+            pc_stats: HashMap::new(),
+            last_issue: Vec::new(),
+            cur_sm: 0,
+            cur_cycle: 0,
+            next_snapshot: u64::MAX,
+            base: SnapshotBase::default(),
+            final_cycles: 0,
+        }
+    }
+
+    /// An enabled collector for a run on `num_sms` SMs.
+    ///
+    /// With the crate feature `compile-disabled` set this returns a
+    /// disabled instance, making instrumentation vanish without source
+    /// changes.
+    #[must_use]
+    pub fn for_run(num_sms: usize, config: TelemetryConfig) -> Self {
+        if cfg!(feature = "compile-disabled") {
+            return Self::disabled();
+        }
+        let mut registry = MetricsRegistry::new();
+        let ids = HotIds {
+            warp_instructions: registry.counter("sched.warp_instructions"),
+            adder_ops: registry.counter("adder.ops"),
+            adder_mispredicts: registry.counter("adder.mispredicts"),
+            history_reads: registry.counter("history.reads"),
+            history_writes: registry.counter("history.writes"),
+            crf_reads: registry.counter("crf.reads"),
+            crf_writes: registry.counter("crf.writes"),
+            crf_conflicts: registry.counter("crf.conflicts"),
+            l1_accesses: registry.counter("mem.l1_accesses"),
+            l1_misses: registry.counter("mem.l1_misses"),
+            l2_misses: registry.counter("mem.l2_misses"),
+            dram_accesses: registry.counter("mem.dram_accesses"),
+            barriers: registry.counter("sched.barriers"),
+            recompute_slices: registry.histogram("adder.recompute_slices"),
+            issue_gap: registry.histogram("sched.issue_gap"),
+            mem_latency: registry.histogram("mem.latency"),
+        };
+        Telemetry {
+            enabled: true,
+            config,
+            rings: (0..num_sms.max(1))
+                .map(|_| RingBuffer::new(config.ring_capacity))
+                .collect(),
+            registry,
+            series: IntervalSeries::new(SERIES_COLUMNS.iter().map(|s| (*s).to_string()).collect()),
+            span_names: Vec::new(),
+            ids: Some(ids),
+            pc_stats: HashMap::new(),
+            last_issue: vec![u64::MAX; num_sms.max(1)],
+            cur_sm: 0,
+            cur_cycle: 0,
+            next_snapshot: config.interval_cycles.max(1),
+            base: SnapshotBase::default(),
+            final_cycles: 0,
+        }
+    }
+
+    /// Whether this collector records anything.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the SM / cycle context subsequent sink callbacks attribute
+    /// their events to. Cheap; call before handing `self` to core as an
+    /// [`EventSink`].
+    #[inline]
+    pub fn set_context(&mut self, sm: usize, cycle: u64) {
+        self.cur_sm = sm;
+        self.cur_cycle = cycle;
+    }
+
+    /// Records a raw event into an SM's ring. Prefer the typed helpers;
+    /// this is the escape hatch the [`tele_event!`] macro uses.
+    pub fn record_event(&mut self, sm: usize, cycle: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let idx = sm.min(self.rings.len().saturating_sub(1));
+        self.rings[idx].push(Event { cycle, kind });
+    }
+
+    /// Interns a span name, returning its index for [`EventKind::Span`].
+    pub fn intern_span_name(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.span_names.iter().position(|n| n == name) {
+            return u16::try_from(i).unwrap_or(u16::MAX);
+        }
+        self.span_names.push(name.to_string());
+        u16::try_from(self.span_names.len() - 1).unwrap_or(u16::MAX)
+    }
+
+    /// The interned name behind a span index.
+    #[must_use]
+    pub fn span_name(&self, idx: u16) -> &str {
+        self.span_names
+            .get(usize::from(idx))
+            .map_or("span", String::as_str)
+    }
+
+    /// The scheduler issued a warp instruction. Feeds the issue counter,
+    /// the per-SM issue-gap histogram and the event ring.
+    pub fn issue(&mut self, sm: usize, cycle: u64, warp: u32, pc: u32, pool: u8) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.warp_instructions, 1);
+        let idx = sm.min(self.last_issue.len().saturating_sub(1));
+        let last = self.last_issue[idx];
+        if last != u64::MAX && cycle > last {
+            self.registry.record(ids.issue_gap, cycle - last - 1);
+        }
+        self.last_issue[idx] = cycle;
+        self.record_event(sm, cycle, EventKind::SchedIssue { warp, pc, pool });
+    }
+
+    /// One coalesced global-memory transaction completed.
+    /// `level`: 0 = L1 hit, 1 = L2 hit, 2 = DRAM.
+    pub fn mem_access(&mut self, sm: usize, cycle: u64, addr: u64, latency: u32, level: u8) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.l1_accesses, 1);
+        if level >= 1 {
+            self.registry.inc(ids.l1_misses, 1);
+        }
+        if level >= 2 {
+            self.registry.inc(ids.l2_misses, 1);
+            self.registry.inc(ids.dram_accesses, 1);
+        }
+        self.registry.record(ids.mem_latency, u64::from(latency));
+        self.record_event(
+            sm,
+            cycle,
+            EventKind::MemAccess {
+                addr,
+                latency,
+                level,
+            },
+        );
+    }
+
+    /// A warp reached a block barrier.
+    pub fn barrier(&mut self, sm: usize, cycle: u64, warp: u32) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.barriers, 1);
+        self.record_event(sm, cycle, EventKind::Barrier { warp });
+    }
+
+    /// Records a named span of `duration` cycles starting at `start`.
+    pub fn span(&mut self, sm: usize, name: &str, start: u64, duration: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = self.intern_span_name(name);
+        self.record_event(sm, start, EventKind::Span { name, duration });
+    }
+
+    /// Advances simulated time, taking interval snapshots for every
+    /// boundary crossed. Call whenever the simulator's clock moves.
+    pub fn advance(&mut self, cycle: u64) {
+        if !self.enabled {
+            return;
+        }
+        while cycle >= self.next_snapshot {
+            let at = self.next_snapshot;
+            self.take_snapshot(at);
+            self.next_snapshot += self.config.interval_cycles.max(1);
+        }
+    }
+
+    fn take_snapshot(&mut self, cycle: u64) {
+        let Some(ids) = self.ids else { return };
+        let ops = self.registry.counter_value(ids.adder_ops);
+        let mis = self.registry.counter_value(ids.adder_mispredicts);
+        let ins = self.registry.counter_value(ids.warp_instructions);
+        let d_ops = ops - self.base.ops;
+        let d_mis = mis - self.base.mispredicts;
+        let d_ins = ins - self.base.instructions;
+        let dt = cycle.saturating_sub(self.base.cycle).max(1);
+        let accuracy = if d_ops == 0 {
+            1.0
+        } else {
+            1.0 - d_mis as f64 / d_ops as f64
+        };
+        self.series.push(
+            cycle,
+            vec![
+                accuracy,
+                d_ops as f64,
+                d_mis as f64,
+                d_ins as f64 / dt as f64,
+            ],
+        );
+        self.base = SnapshotBase {
+            cycle,
+            ops,
+            mispredicts: mis,
+            instructions: ins,
+        };
+    }
+
+    /// Ends the run at `cycles`: takes a final partial snapshot (if any
+    /// activity happened since the last boundary) and freezes summary
+    /// gauges.
+    pub fn finalize(&mut self, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.advance(cycles);
+        if cycles > self.base.cycle {
+            self.take_snapshot(cycles);
+        }
+        self.final_cycles = cycles;
+        let Some(ids) = self.ids else { return };
+        let ops = self.registry.counter_value(ids.adder_ops);
+        let mis = self.registry.counter_value(ids.adder_mispredicts);
+        let ins = self.registry.counter_value(ids.warp_instructions);
+        let acc_gauge = self.registry.gauge("adder.accuracy");
+        let ipc_gauge = self.registry.gauge("sim.ipc");
+        let cyc_gauge = self.registry.gauge("sim.cycles");
+        let accuracy = if ops == 0 {
+            1.0
+        } else {
+            1.0 - mis as f64 / ops as f64
+        };
+        self.registry.set(acc_gauge, accuracy);
+        self.registry
+            .set(ipc_gauge, ins as f64 / cycles.max(1) as f64);
+        self.registry.set(cyc_gauge, cycles as f64);
+    }
+
+    /// Total cycles as reported to [`Telemetry::finalize`].
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.final_cycles
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The interval-snapshot series (columns: [`SERIES_COLUMNS`]).
+    #[must_use]
+    pub fn series(&self) -> &IntervalSeries {
+        &self.series
+    }
+
+    /// Per-SM event rings.
+    #[must_use]
+    pub fn rings(&self) -> &[RingBuffer] {
+        &self.rings
+    }
+
+    /// Per-PC prediction accuracy, worst first:
+    /// `(pc, ops, mispredicts)`.
+    #[must_use]
+    pub fn pc_accuracy(&self) -> Vec<(u32, u64, u64)> {
+        let mut v: Vec<(u32, u64, u64)> = self
+            .pc_stats
+            .iter()
+            .map(|(&pc, s)| (pc, s.ops, s.mispredicts))
+            .collect();
+        v.sort_by(|a, b| {
+            let ra = a.2 as f64 / a.1.max(1) as f64;
+            let rb = b.2 as f64 / b.1.max(1) as f64;
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+impl EventSink for Telemetry {
+    fn adder_op(&mut self, ctx: &OpContext, _layout: SliceLayout, outcome: &AddOutcome) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.adder_ops, 1);
+        let stat = self.pc_stats.entry(ctx.pc).or_default();
+        stat.ops += 1;
+        if outcome.mispredicted {
+            stat.mispredicts += 1;
+            self.registry.inc(ids.adder_mispredicts, 1);
+            self.registry
+                .record(ids.recompute_slices, u64::from(outcome.slices_recomputed));
+            let (sm, cycle) = (self.cur_sm, self.cur_cycle);
+            self.record_event(
+                sm,
+                cycle,
+                EventKind::AdderMispredict {
+                    pc: ctx.pc,
+                    slices_recomputed: outcome.slices_recomputed,
+                },
+            );
+        }
+    }
+
+    fn history_activity(&mut self, reads: u64, writes: u64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.history_reads, reads);
+        self.registry.inc(ids.history_writes, writes);
+    }
+
+    fn crf_read(&mut self, _pc: u32) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.crf_reads, 1);
+    }
+
+    fn crf_write(&mut self, pc: u32, conflict: bool) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.inc(ids.crf_writes, 1);
+        if conflict {
+            self.registry.inc(ids.crf_conflicts, 1);
+            let (sm, cycle) = (self.cur_sm, self.cur_cycle);
+            self.record_event(sm, cycle, EventKind::CrfConflict { row: pc & 0xF });
+        }
+    }
+}
+
+/// Records an event unless telemetry is compiled out.
+///
+/// `tele_event!(tele, sm, cycle, kind)` expands to a guarded
+/// [`Telemetry::record_event`] call — or to nothing with the
+/// `compile-disabled` feature, removing even the branch.
+#[macro_export]
+#[cfg(not(feature = "compile-disabled"))]
+macro_rules! tele_event {
+    ($tele:expr, $sm:expr, $cycle:expr, $kind:expr) => {
+        if $tele.is_enabled() {
+            $tele.record_event($sm, $cycle, $kind);
+        }
+    };
+}
+
+/// Compiled-out form of [`tele_event!`].
+#[macro_export]
+#[cfg(feature = "compile-disabled")]
+macro_rules! tele_event {
+    ($tele:expr, $sm:expr, $cycle:expr, $kind:expr) => {{
+        // Never-called closure: keeps the arguments "used" without
+        // evaluating them.
+        let _ = || (&$tele, $sm, $cycle, $kind);
+    }};
+}
+
+/// Records a named span unless telemetry is compiled out.
+///
+/// `tele_span!(tele, sm, name, start, duration)`.
+#[macro_export]
+#[cfg(not(feature = "compile-disabled"))]
+macro_rules! tele_span {
+    ($tele:expr, $sm:expr, $name:expr, $start:expr, $dur:expr) => {
+        if $tele.is_enabled() {
+            $tele.span($sm, $name, $start, $dur);
+        }
+    };
+}
+
+/// Compiled-out form of [`tele_span!`].
+#[macro_export]
+#[cfg(feature = "compile-disabled")]
+macro_rules! tele_span {
+    ($tele:expr, $sm:expr, $name:expr, $start:expr, $dur:expr) => {{
+        // Never-called closure: keeps the arguments "used" without
+        // evaluating them.
+        let _ = || (&$tele, $sm, $name, $start, $dur);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(mispredicted: bool) -> AddOutcome {
+        AddOutcome {
+            sum: 0,
+            carry_out: false,
+            cycles: if mispredicted { 2 } else { 1 },
+            mispredicted,
+            slices_recomputed: u32::from(mispredicted) * 3,
+            errors: 0,
+            static_boundaries: 0,
+            true_carries: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.issue(0, 10, 0, 4, 0);
+        t.mem_access(0, 10, 128, 30, 1);
+        t.barrier(0, 11, 2);
+        t.adder_op(&OpContext::default(), SliceLayout::INT64, &outcome(true));
+        t.advance(100_000);
+        t.finalize(100_000);
+        assert!(t.rings().is_empty());
+        assert!(t.registry().counters().is_empty());
+        assert!(t.series().points().is_empty());
+    }
+
+    #[test]
+    fn sink_updates_metrics_and_rings() {
+        let mut t = Telemetry::for_run(2, TelemetryConfig::default());
+        t.set_context(1, 42);
+        let ctx = OpContext {
+            pc: 7,
+            gtid: 0,
+            ltid: 0,
+        };
+        t.adder_op(&ctx, SliceLayout::INT64, &outcome(false));
+        t.adder_op(&ctx, SliceLayout::INT64, &outcome(true));
+        assert_eq!(t.registry().counter_by_name("adder.ops"), Some(2));
+        assert_eq!(t.registry().counter_by_name("adder.mispredicts"), Some(1));
+        let pcs = t.pc_accuracy();
+        assert_eq!(pcs, vec![(7, 2, 1)]);
+        // The mispredict landed in SM 1's ring at cycle 42.
+        let e = t.rings()[1].iter_in_order().next().unwrap();
+        assert_eq!(e.cycle, 42);
+        assert!(matches!(e.kind, EventKind::AdderMispredict { pc: 7, .. }));
+    }
+
+    #[test]
+    fn interval_snapshots_track_accuracy() {
+        let mut t = Telemetry::for_run(
+            1,
+            TelemetryConfig {
+                ring_capacity: 16,
+                interval_cycles: 100,
+            },
+        );
+        let ctx = OpContext::default();
+        // Interval 1: 4 ops, 2 mispredicts -> accuracy 0.5.
+        for i in 0..4 {
+            t.adder_op(&ctx, SliceLayout::INT64, &outcome(i % 2 == 0));
+        }
+        t.advance(100);
+        // Interval 2: 4 ops, 0 mispredicts -> accuracy 1.0.
+        for _ in 0..4 {
+            t.adder_op(&ctx, SliceLayout::INT64, &outcome(false));
+        }
+        t.finalize(150);
+        let acc = t.series().column("adder.accuracy").unwrap();
+        assert_eq!(acc.len(), 2);
+        assert!((acc[0].1 - 0.5).abs() < 1e-12);
+        assert!((acc[1].1 - 1.0).abs() < 1e-12);
+        // Overall gauge covers all 8 ops.
+        let g = t
+            .registry()
+            .gauges()
+            .iter()
+            .find(|(n, _)| n == "adder.accuracy")
+            .unwrap()
+            .1;
+        assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn issue_gap_histogram() {
+        let mut t = Telemetry::for_run(1, TelemetryConfig::default());
+        t.issue(0, 10, 0, 0, 0);
+        t.issue(0, 11, 0, 4, 0); // gap 0 (back-to-back)
+        t.issue(0, 20, 0, 8, 0); // gap 8
+        let (_, h) = t
+            .registry()
+            .histograms()
+            .iter()
+            .find(|(n, _)| n == "sched.issue_gap")
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[metrics::Histogram::bucket_index(8)], 1);
+    }
+
+    #[test]
+    fn macros_compile_and_guard() {
+        let mut t = Telemetry::disabled();
+        tele_event!(t, 0, 5, EventKind::Barrier { warp: 1 });
+        tele_span!(t, 0, "functional.batch", 0, 10);
+        assert!(t.rings().is_empty());
+
+        let mut t = Telemetry::for_run(1, TelemetryConfig::default());
+        tele_event!(t, 0, 5, EventKind::Barrier { warp: 1 });
+        tele_span!(t, 0, "functional.batch", 0, 10);
+        if cfg!(feature = "compile-disabled") {
+            assert!(!t.is_enabled());
+        } else {
+            assert_eq!(t.rings()[0].len(), 2);
+            assert_eq!(t.span_name(0), "functional.batch");
+        }
+    }
+}

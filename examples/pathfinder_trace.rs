@@ -49,10 +49,14 @@ fn main() {
         order_delta.push((w[1].value - w[0].value).unsigned_abs());
     }
     let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
-    println!("\navg |Δvalue| between consecutive executions of the SAME PC : {:>10.1}",
-        avg(&same_pc_delta));
-    println!("avg |Δvalue| between consecutive instructions (program order): {:>10.1}",
-        avg(&order_delta));
+    println!(
+        "\navg |Δvalue| between consecutive executions of the SAME PC : {:>10.1}",
+        avg(&same_pc_delta)
+    );
+    println!(
+        "avg |Δvalue| between consecutive instructions (program order): {:>10.1}",
+        avg(&order_delta)
+    );
     println!("\n→ spatio-temporal correlation: same-PC values evolve gradually;");
     println!("  that is the correlation the ST² history table exploits.");
 }

@@ -15,8 +15,16 @@ fn main() {
 
     // A loop iterator (PC 5) and an accumulating sum (PC 6): the
     // canonical spatio-temporally correlated operand streams.
-    let iter_pc = OpContext { pc: 5, gtid: 0, ltid: 0 };
-    let acc_pc = OpContext { pc: 6, gtid: 0, ltid: 0 };
+    let iter_pc = OpContext {
+        pc: 5,
+        gtid: 0,
+        ltid: 0,
+    };
+    let acc_pc = OpContext {
+        pc: 6,
+        gtid: 0,
+        ltid: 0,
+    };
     let mut acc: u64 = 0;
     for i in 0..10_000u64 {
         let it = adder.add(&iter_pc, i, 1, false);
@@ -27,7 +35,10 @@ fn main() {
     let s = adder.stats();
     println!("ST2  (Ltid+Prev+ModPC4+Peek):");
     println!("  operations            : {}", s.ops);
-    println!("  misprediction rate    : {:.2}%", 100.0 * s.misprediction_rate());
+    println!(
+        "  misprediction rate    : {:.2}%",
+        100.0 * s.misprediction_rate()
+    );
     println!("  prediction accuracy   : {:.2}%", 100.0 * s.accuracy());
     println!(
         "  slices recomputed/miss: {:.2}",
@@ -50,8 +61,26 @@ fn main() {
         let mut a = SpeculativeAdder::new(SliceLayout::INT64, cfg);
         let mut acc: u64 = 0;
         for i in 0..10_000u64 {
-            let _ = a.add(&OpContext { pc: 5, gtid: 0, ltid: 0 }, i, 1, false);
-            let r = a.add(&OpContext { pc: 6, gtid: 0, ltid: 0 }, acc, i * 3, false);
+            let _ = a.add(
+                &OpContext {
+                    pc: 5,
+                    gtid: 0,
+                    ltid: 0,
+                },
+                i,
+                1,
+                false,
+            );
+            let r = a.add(
+                &OpContext {
+                    pc: 6,
+                    gtid: 0,
+                    ltid: 0,
+                },
+                acc,
+                i * 3,
+                false,
+            );
             acc = r.sum;
         }
         println!(

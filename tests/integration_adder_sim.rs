@@ -79,7 +79,10 @@ fn fig5_ladder_on_real_kernels() {
     let valhalla = rate("VaLHALLA");
     let static_zero = rate("staticZero");
     assert!(st2 < valhalla, "ST2 {st2:.3} !< VaLHALLA {valhalla:.3}");
-    assert!(st2 < static_zero, "ST2 {st2:.3} !< staticZero {static_zero:.3}");
+    assert!(
+        st2 < static_zero,
+        "ST2 {st2:.3} !< staticZero {static_zero:.3}"
+    );
     assert!(
         rate("VaLHALLA+Peek") <= valhalla,
         "retrofitting Peek must not hurt VaLHALLA"
@@ -88,7 +91,10 @@ fn fig5_ladder_on_real_kernels() {
         rate("Prev+ModPC4+Peek") <= rate("Prev+Peek") + 0.01,
         "PC disambiguation must not hurt"
     );
-    assert!(st2 < 0.25, "final design miss rate {st2:.3} implausibly high");
+    assert!(
+        st2 < 0.25,
+        "final design miss rate {st2:.3} implausibly high"
+    );
 }
 
 #[test]
@@ -126,7 +132,12 @@ fn functional_and_timed_agree_across_suite_sample() {
         );
         let mut m2 = spec.memory.clone();
         let t = run_timed(&spec.program, spec.launch, &mut m2, &GpuConfig::scaled(2));
-        assert_eq!(m1.as_bytes(), m2.as_bytes(), "{} memories differ", spec.name);
+        assert_eq!(
+            m1.as_bytes(),
+            m2.as_bytes(),
+            "{} memories differ",
+            spec.name
+        );
         assert_eq!(
             f.mix.total(),
             t.activity.mix.total(),
@@ -148,7 +159,9 @@ fn crf_hardware_matches_behavioural_table_for_st2_config() {
     let mut table = HistoryTable::new(PcIndex::ModPc(4), ThreadKey::Ltid, 1);
     let mut state = 0xDEADBEEFu64;
     for _ in 0..5_000 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let pc = (state >> 5) as u32 & 0xFFFF;
         let lane = (state >> 21) as u32 & 31;
         let carries = (state >> 26) & 0x7F;

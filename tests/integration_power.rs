@@ -60,7 +60,10 @@ fn st2_saves_energy_on_arithmetic_kernels() {
     }
     let summary = summarize(&kernels);
     assert!(summary.avg_system_savings > 0.05);
-    assert!(summary.max_system_savings < 0.9, "savings cannot exceed the ALU share");
+    assert!(
+        summary.max_system_savings < 0.9,
+        "savings cannot exceed the ALU share"
+    );
 }
 
 #[test]
@@ -99,8 +102,8 @@ fn calibration_and_validation_pipeline() {
 
 #[test]
 fn overheads_match_paper_arithmetic() {
-    use st2::power::overheads::{storage_overheads, titan_v_shifter_overheads};
     use st2::circuit::shifter::AdderPopulation;
+    use st2::power::overheads::{storage_overheads, titan_v_shifter_overheads};
 
     let s = storage_overheads(&AdderPopulation::titan_v());
     assert_eq!(s.crf_bytes_chip, 35_840);

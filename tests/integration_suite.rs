@@ -74,7 +74,10 @@ fn st2_misprediction_rates_are_low_across_kernel_sample() {
         rates.push(out.activity.adder.misprediction_rate());
     }
     let avg = rates.iter().sum::<f64>() / rates.len() as f64;
-    assert!(avg < 0.30, "average thread miss rate {avg:.3} too high: {rates:?}");
+    assert!(
+        avg < 0.30,
+        "average thread miss rate {avg:.3} too high: {rates:?}"
+    );
     // Recompute wave depth matches the paper's scale (avg 1.94).
     // (Checked per-kernel in the harness; here just bounded.)
 }

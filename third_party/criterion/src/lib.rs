@@ -1,0 +1,247 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `black_box`) with a plain wall-clock measurement loop:
+//! per sample the routine runs in a timed batch, and min / mean / max
+//! time-per-iteration across samples is printed. No statistical analysis,
+//! HTML reports, or saved baselines — comparisons between runs are done by
+//! eye or by scripting over the stdout lines, which is what the repo's
+//! benchmark guardrails do.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier; prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The stub times whole
+/// batches regardless of the variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation; echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process `n` abstract elements each.
+    Elements(u64),
+    /// Iterations process `n` bytes each.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver handed to the closure given to
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of each sample.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            per_iter_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    fn record<F: FnMut(u64)>(&mut self, mut run_batch: F) {
+        // One untimed warm-up batch, then `samples` timed batches.
+        run_batch(1);
+        for _ in 0..self.samples {
+            let iters = 1u64;
+            let start = Instant::now();
+            run_batch(iters);
+            let elapsed = start.elapsed().as_secs_f64() * 1e9;
+            self.per_iter_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Measures repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.record(|iters| {
+            for _ in 0..iters {
+                black_box(routine());
+            }
+        });
+    }
+
+    /// Measures `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        run_batched_excluding_setup(self, &mut setup, &mut routine);
+    }
+}
+
+fn run_batched_excluding_setup<I, O>(
+    b: &mut Bencher,
+    setup: &mut dyn FnMut() -> I,
+    routine: &mut dyn FnMut(I) -> O,
+) {
+    // Warm-up.
+    black_box(routine(setup()));
+    for _ in 0..b.samples {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let elapsed = start.elapsed().as_secs_f64() * 1e9;
+        b.per_iter_ns.push(elapsed);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates work-per-iteration for the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its `min / mean / max` line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let stats = &bencher.per_iter_ns;
+        assert!(
+            !stats.is_empty(),
+            "benchmark {id} never called Bencher::iter / iter_batched"
+        );
+        let min = stats.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = stats.iter().copied().fold(0.0f64, f64::max);
+        let mean = stats.iter().sum::<f64>() / stats.len() as f64;
+        let mut line = format!(
+            "{}/{:<40} time: [{} {} {}]",
+            self.name,
+            id,
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_sec = n as f64 / (mean / 1e9);
+            line.push_str(&format!("  thrpt: {per_sec:.0} elem/s"));
+        }
+        println!("{line}");
+        self.criterion.completed += 1;
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing further to do).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness state.
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with default settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(5);
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 256],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert_eq!(c.completed, 2);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stub of `proptest`.
+//!
+//! Re-implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` / `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!` macros, the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive` and `boxed`, `any::<T>()`, numeric-range strategies,
+//! `prop::collection::vec` and `prop::sample::select`.
+//!
+//! Differences from the real crate: cases are sampled from a fixed-seed
+//! deterministic generator (override the count with `PROPTEST_CASES`) and
+//! failing cases are **not shrunk** — the failing inputs are reported
+//! verbatim. For the repository's invariant-style tests this loses
+//! debugging convenience, not coverage.
+
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with a fixed, documented seed.
+    #[must_use]
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng {
+            state: 0x5EED_0BAD_CAFE_F00D ^ salt,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; resample.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// A source of random values of one type.
+///
+/// The stub's strategies are pure samplers: `generate` draws one value.
+pub trait Strategy: Clone {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O,
+        Self: Sized,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the inner
+    /// (smaller) level; recursion nests at most `depth` levels.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut acc = self.clone().boxed();
+        for _ in 0..depth {
+            acc = union(vec![self.clone().boxed(), f(acc).boxed()]);
+        }
+        acc
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the engine behind `prop_oneof!`).
+#[must_use]
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Rc::new(move |rng| {
+        arms[rng.index(arms.len())].generate(rng)
+    }))
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `self.prop_map(f)` support type.
+pub struct Map<S, F> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Values with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            #[allow(trivial_numeric_casts)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(trivial_numeric_casts)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                (*self.start() as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `Vec` strategy with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let n = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with length in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.index(self.0.len())].clone()
+        }
+    }
+
+    /// Uniformly selects one of `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select over empty list");
+        Select(items)
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each parameter is either `name in strategy`
+/// or `name: Type` (sugar for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::proptest!(@munch [] [$($params)*] $body);
+            }
+        )*
+    };
+    (@munch [$($acc:tt)*] [$pat:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@munch [$($acc)* [$pat ($strat)]] [$($rest)*] $body)
+    };
+    (@munch [$($acc:tt)*] [$pat:ident in $strat:expr] $body:block) => {
+        $crate::proptest!(@run [$($acc)* [$pat ($strat)]] $body)
+    };
+    (@munch [$($acc:tt)*] [$pat:ident : $ty:ty, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@munch [$($acc)* [$pat ($crate::any::<$ty>())]] [$($rest)*] $body)
+    };
+    (@munch [$($acc:tt)*] [$pat:ident : $ty:ty] $body:block) => {
+        $crate::proptest!(@run [$($acc)* [$pat ($crate::any::<$ty>())]] $body)
+    };
+    (@munch [$($acc:tt)*] [] $body:block) => {
+        $crate::proptest!(@run [$($acc)*] $body)
+    };
+    (@run [$([$pat:ident ($strat:expr)])*] $body:block) => {{
+        let __cases = $crate::cases_from_env();
+        let mut __rng = $crate::TestRng::deterministic(line!() as u64);
+        let mut __ran: u32 = 0;
+        let mut __rejected: u32 = 0;
+        while __ran < __cases {
+            let __outcome: ::core::result::Result<(), $crate::TestCaseError> = {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            };
+            match __outcome {
+                ::core::result::Result::Ok(()) => __ran += 1,
+                ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                    __rejected += 1;
+                    assert!(
+                        __rejected < 65536,
+                        "proptest stub: prop_assume! rejected 65536 samples"
+                    );
+                }
+                ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!("property failed after {} passing case(s): {}", __ran, msg);
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assert_eq failed: {} != {} ({:?} vs {:?})",
+                stringify!($left), stringify!($right), __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assert_ne failed: {} == {} ({:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current sample (resampled, not counted as a case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in 1u32..10, y: bool, v in prop::collection::vec(0i64..5, 1..4)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|e| (0..5).contains(e)));
+            let _ = y;
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(k in prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|v| v)]) {
+            prop_assert!((1..5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn select_uniformity() {
+        let s = crate::sample::select(vec![10u32, 20, 30]);
+        let mut rng = crate::TestRng::deterministic(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::deterministic(1);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives
+//! expand to nothing (see `third_party/serde_derive`); no code in this
+//! workspace bounds on the traits or serialises values. JSON emitted by
+//! the telemetry layer is hand-written (`st2_telemetry::json`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

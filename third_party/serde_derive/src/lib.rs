@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This container has no network access and no crates.io mirror, so the
+//! workspace vendors the *minimal* subset of its external dependencies it
+//! actually exercises (see `third_party/README.md`). Nothing in the
+//! repository serialises values — the `#[derive(Serialize, Deserialize)]`
+//! attributes are forward-looking decoration — so the derives legally
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
