@@ -1,0 +1,42 @@
+//! Criterion benches: serial vs parallel timed driver on one kernel and
+//! on a suite slice — the wall-clock side of the `sim_threads` knob
+//! (results are bit-identical by construction; see the determinism
+//! integration test).
+//!
+//! On a multi-core runner `timed/threads2+` should beat `timed/threads1`
+//! once the kernel has enough resident blocks to spread across SMs; on a
+//! single-core machine the barrier overhead makes them comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st2::prelude::*;
+use st2_bench::timed_suite_filtered;
+use std::hint::black_box;
+
+fn bench_parallel_driver(c: &mut Criterion) {
+    let spec = st2::kernels::pathfinder::build(Scale::Test);
+    let mut group = c.benchmark_group("parallel_driver");
+    group.sample_size(10);
+
+    for threads in [1u32, 2, 4] {
+        let cfg = GpuConfig::scaled(4).with_st2().with_sim_threads(threads);
+        group.bench_function(format!("timed/threads{threads}"), |b| {
+            b.iter(|| {
+                let mut mem = spec.memory.clone();
+                black_box(run_timed(&spec.program, spec.launch, &mut mem, &cfg))
+            });
+        });
+    }
+
+    // A suite slice end-to-end (already thread-per-kernel; per-run
+    // workers compose with it).
+    for threads in [1u32, 2] {
+        let cfg = GpuConfig::scaled(4).with_sim_threads(threads);
+        group.bench_function(format!("timed_suite_slice/threads{threads}"), |b| {
+            b.iter(|| black_box(timed_suite_filtered(Scale::Test, &cfg, Some("sortNets"))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_driver);
+criterion_main!(benches);

@@ -20,11 +20,12 @@
 use st2::core::dse::{sweep, sweep_int_layout};
 use st2::core::{PredictorKind, RecomputePolicy, SliceLayout, SpeculationConfig, UpdatePolicy};
 use st2::prelude::*;
-use st2_bench::{functional_suite, harness_gpu, header, pct, scale_from_args};
+use st2_bench::{functional_suite_filtered, header, pct, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let runs = functional_suite(scale, true);
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let runs = functional_suite_filtered(scale, true, args.kernels.as_deref());
     let n = runs.len() as f64;
 
     // Averaged per-kernel misprediction rate for a configuration.
@@ -126,7 +127,7 @@ fn main() {
     println!("  lives across *time*, not within one operand pair.");
 
     header("A6: warp scheduler sensitivity of the ST2 slowdown");
-    let base = harness_gpu();
+    let base = args.gpu();
     for (name, cfg) in [
         ("GTO", base.with_scheduler(SchedulerKind::Gto)),
         ("RoundRobin", base.with_scheduler(SchedulerKind::RoundRobin)),
@@ -141,9 +142,21 @@ fn main() {
         let k = sample.len() as f64;
         for spec in sample {
             let mut m1 = spec.memory.clone();
-            let b = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
+            let b = run_timed_with(
+                &spec.program,
+                spec.launch,
+                &mut m1,
+                &cfg,
+                RunOptions::default(),
+            );
             let mut m2 = spec.memory.clone();
-            let s = run_timed(&spec.program, spec.launch, &mut m2, &cfg.with_st2());
+            let s = run_timed_with(
+                &spec.program,
+                spec.launch,
+                &mut m2,
+                &cfg.with_st2(),
+                RunOptions::default(),
+            );
             assert_eq!(m1.as_bytes(), m2.as_bytes());
             slow += s.cycles as f64 / b.cycles as f64 - 1.0;
         }

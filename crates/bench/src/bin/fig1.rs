@@ -3,14 +3,14 @@
 //! Paper claim: ALU and FPU operations are prevalent — 21 of 23 kernels
 //! execute more than 20 % ALU+FPU dynamic instructions.
 //!
-//! Run: `cargo run --release -p st2-bench --bin fig1 [--scale test]`
+//! Run: `cargo run --release -p st2-bench --bin fig1 [--scale test] [--kernels <substr>]`
 
 use st2::isa::InstClass::*;
-use st2_bench::{functional_suite, header, pct, scale_from_args};
+use st2_bench::{functional_suite_filtered, header, pct, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let runs = functional_suite(scale, false);
+    let args = BenchArgs::parse();
+    let runs = functional_suite_filtered(args.scale, false, args.kernels.as_deref());
 
     header("Fig. 1: dynamic instruction mix (thread-level)");
     println!(

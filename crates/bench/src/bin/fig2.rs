@@ -8,10 +8,10 @@
 //! Run: `cargo run --release -p st2-bench --bin fig2 [--scale test]`
 
 use st2::prelude::*;
-use st2_bench::{header, scale_from_args};
+use st2_bench::{header, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
+    let scale = BenchArgs::parse().scale;
     let spec = st2::kernels::pathfinder::build(scale);
     let mut mem = spec.memory.clone();
     let trace_gtid = 8; // an interior column of block 0

@@ -9,13 +9,11 @@
 //! Run: `cargo run --release -p st2-bench --bin fig5 [--scale test]`
 
 use st2::core::dse::{fig5_design_points, sweep};
-use st2_bench::{
-    artifact_dir_from_args, functional_suite, header, pct, scale_from_args, write_csv,
-};
+use st2_bench::{functional_suite_filtered, header, pct, write_csv, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let runs = functional_suite(scale, true);
+    let args = BenchArgs::parse();
+    let runs = functional_suite_filtered(args.scale, true, args.kernels.as_deref());
     let points = fig5_design_points();
 
     // Per-kernel sweeps, averaged across kernels (the figure's
@@ -35,13 +33,13 @@ fn main() {
     for (cfg, rate) in points.iter().zip(&avg) {
         println!("{:<28} {:>10}", cfg.label(), pct(*rate));
     }
-    if let Some(dir) = artifact_dir_from_args() {
+    if let Some(dir) = &args.out {
         let rows: Vec<Vec<String>> = points
             .iter()
             .zip(&avg)
             .map(|(cfg, rate)| vec![cfg.label(), format!("{rate:.6}")])
             .collect();
-        write_csv(&dir, "fig5", &["design_point", "miss_rate"], &rows);
+        write_csv(dir, "fig5", &["design_point", "miss_rate"], &rows);
     }
 
     let find = |label: &str| {

@@ -7,13 +7,11 @@
 //!
 //! Run: `cargo run --release -p st2-bench --bin fig6 [--scale test]`
 
-use st2_bench::{
-    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
-};
+use st2_bench::{header, pct, timed_suite_filtered, write_csv, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let pairs = timed_suite(scale, &harness_gpu());
+    let args = BenchArgs::parse();
+    let pairs = timed_suite_filtered(args.scale, &args.gpu(), args.kernels.as_deref());
 
     header("Fig. 6: thread misprediction rate (ST2, Ltid+Prev+ModPC4+Peek)");
     println!(
@@ -40,7 +38,7 @@ fn main() {
             p.st2.activity.crf_conflicts,
         );
     }
-    if let Some(dir) = artifact_dir_from_args() {
+    if let Some(dir) = &args.out {
         let rows: Vec<Vec<String>> = pairs
             .iter()
             .map(|p| {
@@ -56,7 +54,7 @@ fn main() {
             })
             .collect();
         write_csv(
-            &dir,
+            dir,
             "fig6",
             &[
                 "kernel",

@@ -10,14 +10,12 @@
 
 use st2::power::breakdown::summarize;
 use st2::prelude::*;
-use st2_bench::{
-    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
-};
+use st2_bench::{header, pct, timed_suite_filtered, write_csv, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let cfg = harness_gpu();
-    let pairs = timed_suite(scale, &cfg);
+    let args = BenchArgs::parse();
+    let cfg = args.gpu();
+    let pairs = timed_suite_filtered(args.scale, &cfg, args.kernels.as_deref());
     let energy = EnergyModel::characterized();
 
     let kernels: Vec<KernelEnergy> = pairs
@@ -57,7 +55,7 @@ fn main() {
         );
     }
 
-    if let Some(dir) = artifact_dir_from_args() {
+    if let Some(dir) = &args.out {
         let mut rows = Vec::new();
         for k in &kernels {
             for (c, b, s) in k.stacks() {
@@ -70,7 +68,7 @@ fn main() {
             }
         }
         write_csv(
-            &dir,
+            dir,
             "fig7",
             &["kernel", "component", "baseline_frac", "st2_frac"],
             &rows,

@@ -5,13 +5,11 @@
 //!
 //! Run: `cargo run --release -p st2-bench --bin perf_overhead [--scale test]`
 
-use st2_bench::{
-    artifact_dir_from_args, harness_gpu, header, pct, scale_from_args, timed_suite, write_csv,
-};
+use st2_bench::{header, pct, timed_suite_filtered, write_csv, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let pairs = timed_suite(scale, &harness_gpu());
+    let args = BenchArgs::parse();
+    let pairs = timed_suite_filtered(args.scale, &args.gpu(), args.kernels.as_deref());
 
     header("§VI: ST2 performance overhead");
     println!(
@@ -35,7 +33,7 @@ fn main() {
             p.st2.activity.stall_cycles,
         );
     }
-    if let Some(dir) = artifact_dir_from_args() {
+    if let Some(dir) = &args.out {
         let rows: Vec<Vec<String>> = pairs
             .iter()
             .map(|p| {
@@ -48,7 +46,7 @@ fn main() {
             })
             .collect();
         write_csv(
-            &dir,
+            dir,
             "perf_overhead",
             &["kernel", "baseline_cycles", "st2_cycles", "slowdown"],
             &rows,

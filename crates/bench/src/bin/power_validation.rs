@@ -10,11 +10,11 @@ use st2::power::calibrate::calibrate;
 use st2::power::micro::{stressors, NUM_STRESSORS};
 use st2::power::validate::validate;
 use st2::prelude::*;
-use st2_bench::{harness_gpu, header, pct, scale_from_args, timed_suite};
+use st2_bench::{header, pct, timed_suite_filtered, BenchArgs};
 
 fn main() {
-    let scale = scale_from_args();
-    let cfg = harness_gpu();
+    let args = BenchArgs::parse();
+    let cfg = args.gpu();
     let energy = EnergyModel::characterized();
 
     // "Silicon": hidden true scale factors + 8% measurement noise (the
@@ -58,7 +58,7 @@ fn main() {
     // requires).
     const CHIP_EVENTS: u64 = 2_000;
     const CHIP_SMS: u64 = 20; // 4 simulated SMs -> 80
-    let pairs = timed_suite(scale, &cfg);
+    let pairs = timed_suite_filtered(args.scale, &cfg, args.kernels.as_deref());
     let runs: Vec<(&str, st2::sim::ActivityCounters)> = pairs
         .iter()
         .map(|p| {

@@ -7,7 +7,7 @@
 //! * per-kernel text summary on stdout
 //!
 //! ```text
-//! cargo run --bin trace_report -- pathfinder [out_dir]
+//! cargo run --bin trace_report -- pathfinder [out_dir] [--sim-threads <n>]
 //! ```
 //!
 //! Run with no arguments to list the available kernels.
@@ -16,10 +16,11 @@ use std::process::ExitCode;
 
 use st2::prelude::*;
 use st2::telemetry::{chrome, jsonl, summary};
+use st2_bench::BenchArgs;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(name) = args.next() else {
+    let args = BenchArgs::parse();
+    let Some(name) = args.rest.first() else {
         eprintln!("usage: trace_report <kernel> [out_dir]");
         eprintln!("available kernels:");
         for spec in suite(Scale::Test) {
@@ -27,18 +28,27 @@ fn main() -> ExitCode {
         }
         return ExitCode::FAILURE;
     };
-    let out_dir = args.next().unwrap_or_else(|| ".".to_string());
+    let out_dir = args.rest.get(1).cloned().unwrap_or_else(|| ".".to_string());
 
     let specs = suite(Scale::Test);
-    let Some(spec) = specs.into_iter().find(|s| s.name == name) else {
+    let Some(spec) = specs.into_iter().find(|s| s.name == name.as_str()) else {
         eprintln!("unknown kernel {name:?}; run with no arguments for the list");
         return ExitCode::FAILURE;
     };
 
-    let cfg = GpuConfig::scaled(2).with_st2();
+    let mut cfg = GpuConfig::scaled(2).with_st2();
+    if let Some(t) = args.sim_threads {
+        cfg = cfg.with_sim_threads(t);
+    }
     let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
     let mut mem = spec.memory.clone();
-    let out = run_timed_with_telemetry(&spec.program, spec.launch, &mut mem, &cfg, &mut tele);
+    let out = run_timed_with(
+        &spec.program,
+        spec.launch,
+        &mut mem,
+        &cfg,
+        RunOptions::with_telemetry(&mut tele),
+    );
     if let Err(e) = spec.verify(&mem) {
         eprintln!("warning: {name} failed output verification: {e}");
     }

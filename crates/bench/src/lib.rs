@@ -12,16 +12,96 @@ use std::sync::Mutex;
 use st2::prelude::*;
 use st2::sim::ActivityCounters;
 
-/// Scale selected by the command line (`--scale test|full`, default full).
-#[must_use]
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    for w in args.windows(2) {
-        if w[0] == "--scale" && w[1] == "test" {
-            return Scale::Test;
+/// The command line shared by every harness binary, parsed once.
+///
+/// Recognised flags (all optional, any order):
+///
+/// * `--scale test|full` — problem sizes (default full)
+/// * `--out <dir>` — also write machine-readable CSV artifacts there
+/// * `--kernels <substring>` — restrict suite runs to kernels whose name
+///   contains the substring
+/// * `--sim-threads <n>` — worker threads per timed run
+///   ([`GpuConfig::sim_threads`]; `0` = auto, default leaves the config
+///   untouched)
+///
+/// Unrecognised tokens land in [`BenchArgs::rest`] for binaries with
+/// positional arguments (e.g. `trace_report <kernel> [out_dir]`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Problem scale (`--scale`).
+    pub scale: Scale,
+    /// Artifact directory (`--out`).
+    pub out: Option<std::path::PathBuf>,
+    /// Kernel-name substring filter (`--kernels`).
+    pub kernels: Option<String>,
+    /// Simulation worker threads (`--sim-threads`).
+    pub sim_threads: Option<u32>,
+    /// Everything not consumed by a flag, in order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process command line (skipping `argv[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags — these binaries
+    /// are operator tools, so failing loudly beats guessing.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BenchArgs::parse`].
+    pub fn from_tokens(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut args = BenchArgs::default();
+        let mut it = iter.into_iter();
+        while let Some(tok) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match tok.as_str() {
+                "--scale" => {
+                    args.scale = match value("--scale").as_str() {
+                        "test" => Scale::Test,
+                        "full" => Scale::Full,
+                        other => panic!("--scale must be test or full, got {other:?}"),
+                    };
+                }
+                "--out" => args.out = Some(std::path::PathBuf::from(value("--out"))),
+                "--kernels" => args.kernels = Some(value("--kernels")),
+                "--sim-threads" => {
+                    let v = value("--sim-threads");
+                    args.sim_threads =
+                        Some(v.parse().unwrap_or_else(|_| {
+                            panic!("--sim-threads must be an integer, got {v:?}")
+                        }));
+                }
+                _ => args.rest.push(tok),
+            }
+        }
+        args
+    }
+
+    /// Whether `name` passes the `--kernels` filter (no filter = all).
+    #[must_use]
+    pub fn matches(&self, name: &str) -> bool {
+        self.kernels.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// The harness GPU with any `--sim-threads` override applied.
+    #[must_use]
+    pub fn gpu(&self) -> GpuConfig {
+        match self.sim_threads {
+            Some(t) => harness_gpu().with_sim_threads(t),
+            None => harness_gpu(),
         }
     }
-    Scale::Full
 }
 
 /// The simulated GPU size used by the harness (a 4-SM slice of the
@@ -29,6 +109,15 @@ pub fn scale_from_args() -> Scale {
 #[must_use]
 pub fn harness_gpu() -> GpuConfig {
     GpuConfig::scaled(4)
+}
+
+/// Applies a [`BenchArgs::kernels`]-style substring filter to suite
+/// specs, panicking (operator typo) when nothing survives.
+fn filter_specs(specs: Vec<KernelSpec>, filter: Option<&str>) -> Vec<KernelSpec> {
+    let Some(f) = filter else { return specs };
+    let kept: Vec<KernelSpec> = specs.into_iter().filter(|s| s.name.contains(f)).collect();
+    assert!(!kept.is_empty(), "--kernels {f:?} matches no suite kernel");
+    kept
 }
 
 /// One kernel's functional results.
@@ -46,7 +135,22 @@ pub struct FunctionalRun {
 /// Panics if any kernel fails its CPU-reference verification.
 #[must_use]
 pub fn functional_suite(scale: Scale, collect_records: bool) -> Vec<FunctionalRun> {
-    let specs = suite(scale);
+    functional_suite_filtered(scale, collect_records, None)
+}
+
+/// [`functional_suite`] restricted to kernels whose name contains
+/// `filter` (the `--kernels` flag).
+///
+/// # Panics
+///
+/// Panics if a kernel fails verification or the filter matches nothing.
+#[must_use]
+pub fn functional_suite_filtered(
+    scale: Scale,
+    collect_records: bool,
+    filter: Option<&str>,
+) -> Vec<FunctionalRun> {
+    let specs = filter_specs(suite(scale), filter);
     let results: Mutex<Vec<(usize, FunctionalRun)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for (i, spec) in specs.into_iter().enumerate() {
@@ -109,7 +213,19 @@ impl TimedPair {
 /// diverge.
 #[must_use]
 pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
-    let specs = suite(scale);
+    timed_suite_filtered(scale, cfg, None)
+}
+
+/// [`timed_suite`] restricted to kernels whose name contains `filter`
+/// (the `--kernels` flag).
+///
+/// # Panics
+///
+/// Panics if a kernel fails verification, the baseline and ST² runs
+/// diverge, or the filter matches nothing.
+#[must_use]
+pub fn timed_suite_filtered(scale: Scale, cfg: &GpuConfig, filter: Option<&str>) -> Vec<TimedPair> {
+    let specs = filter_specs(suite(scale), filter);
     let st2_cfg = cfg.with_st2();
     let results: Mutex<Vec<(usize, TimedPair)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
@@ -118,9 +234,21 @@ pub fn timed_suite(scale: Scale, cfg: &GpuConfig) -> Vec<TimedPair> {
             let cfg = *cfg;
             s.spawn(move || {
                 let mut m1 = spec.memory.clone();
-                let baseline = run_timed(&spec.program, spec.launch, &mut m1, &cfg);
+                let baseline = run_timed_with(
+                    &spec.program,
+                    spec.launch,
+                    &mut m1,
+                    &cfg,
+                    RunOptions::default(),
+                );
                 let mut m2 = spec.memory.clone();
-                let st2 = run_timed(&spec.program, spec.launch, &mut m2, &st2_cfg);
+                let st2 = run_timed_with(
+                    &spec.program,
+                    spec.launch,
+                    &mut m2,
+                    &st2_cfg,
+                    RunOptions::default(),
+                );
                 assert_eq!(
                     m1.as_bytes(),
                     m2.as_bytes(),
@@ -175,16 +303,52 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.215), "21.5%");
     }
-}
 
-/// Optional artifact directory from `--out <dir>`: figure binaries write
-/// machine-readable CSVs there in addition to the console tables.
-#[must_use]
-pub fn artifact_dir_from_args() -> Option<std::path::PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| std::path::PathBuf::from(&w[1]))
+    #[test]
+    fn bench_args_parse_all_flags() {
+        let toks = [
+            "--scale",
+            "test",
+            "--out",
+            "art",
+            "--kernels",
+            "path",
+            "--sim-threads",
+            "2",
+        ];
+        let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
+        assert_eq!(args.scale, Scale::Test);
+        assert_eq!(args.out.as_deref(), Some(std::path::Path::new("art")));
+        assert_eq!(args.kernels.as_deref(), Some("path"));
+        assert_eq!(args.sim_threads, Some(2));
+        assert!(args.rest.is_empty());
+        assert_eq!(args.gpu().sim_threads, 2);
+        assert!(args.matches("pathfinder"));
+        assert!(!args.matches("histogram"));
+    }
+
+    #[test]
+    fn bench_args_defaults_and_positionals() {
+        let toks = ["pathfinder", "out_dir"];
+        let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
+        assert_eq!(args.scale, Scale::Full);
+        assert!(args.out.is_none() && args.kernels.is_none() && args.sim_threads.is_none());
+        assert_eq!(args.rest, vec!["pathfinder", "out_dir"]);
+        assert!(args.matches("anything"));
+    }
+
+    #[test]
+    fn kernel_filter_restricts_suite() {
+        let runs = functional_suite_filtered(Scale::Test, false, Some("pathfinder"));
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].spec.name, "pathfinder");
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no suite kernel")]
+    fn kernel_filter_rejects_typos() {
+        let _ = functional_suite_filtered(Scale::Test, false, Some("no-such-kernel"));
+    }
 }
 
 /// Writes one CSV artifact (creating the directory as needed). Cells are

@@ -87,6 +87,12 @@ pub struct GpuConfig {
     /// ST² speculation in the execute stage; `None` = baseline fixed-
     /// latency adders.
     pub speculation: Option<SpeculationConfig>,
+
+    /// Host worker threads stepping SMs in the timed engine: `0` = use
+    /// the machine's available parallelism, `1` = the serial driver.
+    /// Results are bit-identical at every setting; this is purely a
+    /// wall-clock knob.
+    pub sim_threads: u32,
 }
 
 impl GpuConfig {
@@ -124,6 +130,7 @@ impl GpuConfig {
             clock_ghz: 1.2,
             scheduler: SchedulerKind::Gto,
             speculation: None,
+            sim_threads: 0,
         }
     }
 
@@ -158,6 +165,31 @@ impl GpuConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Sets the host worker-thread count for timed runs (`0` = auto).
+    #[must_use]
+    pub fn with_sim_threads(mut self, threads: u32) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
+    /// Resolves [`GpuConfig::sim_threads`] to a concrete worker count:
+    /// `0` becomes the machine's available parallelism, and the result is
+    /// clamped to `1..=num_sms` (more workers than SMs cannot help).
+    #[must_use]
+    pub fn effective_sim_threads(&self) -> u32 {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1)
+        };
+        let requested = if self.sim_threads == 0 {
+            auto()
+        } else {
+            self.sim_threads
+        };
+        requested.clamp(1, self.num_sms.max(1))
+    }
 }
 
 impl Default for GpuConfig {
@@ -184,6 +216,22 @@ mod tests {
         assert_eq!(c.num_sms, 4);
         assert_eq!(c.alu_pipes, GpuConfig::titan_v().alu_pipes);
         assert!(c.l2_bytes < GpuConfig::titan_v().l2_bytes);
+    }
+
+    #[test]
+    fn sim_threads_resolution() {
+        let c = GpuConfig::scaled(4);
+        assert_eq!(c.sim_threads, 0, "default is auto");
+        assert!(c.effective_sim_threads() >= 1);
+        assert!(c.effective_sim_threads() <= 4, "clamped to num_sms");
+        assert_eq!(c.with_sim_threads(1).effective_sim_threads(), 1);
+        assert_eq!(c.with_sim_threads(99).effective_sim_threads(), 4);
+        assert_eq!(
+            GpuConfig::scaled(2)
+                .with_sim_threads(2)
+                .effective_sim_threads(),
+            2
+        );
     }
 
     #[test]

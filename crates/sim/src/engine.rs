@@ -10,6 +10,7 @@
 
 use crate::exec::{step, ExecEnv, StepHooks, WarpCtx};
 use crate::stats::InstMix;
+use crate::timed::RunOptions;
 use crate::trace::ValueTrace;
 use st2_core::AddRecord;
 use st2_isa::{LaunchConfig, MemImage, Program};
@@ -64,7 +65,7 @@ pub fn run_functional(
     global: &mut MemImage,
     opts: &FunctionalOptions,
 ) -> FunctionalOutput {
-    run_functional_with_telemetry(program, launch, global, opts, &mut Telemetry::disabled())
+    run_functional_with(program, launch, global, opts, RunOptions::default())
 }
 
 /// [`run_functional`] with a telemetry collector observing the run.
@@ -85,6 +86,31 @@ pub fn run_functional_with_telemetry(
     opts: &FunctionalOptions,
     tele: &mut Telemetry,
 ) -> FunctionalOutput {
+    run_functional_with(
+        program,
+        launch,
+        global,
+        opts,
+        RunOptions::with_telemetry(tele),
+    )
+}
+
+/// The unified functional entry point, mirroring
+/// [`crate::timed::run_timed_with`]: one signature for plain and observed
+/// runs.
+///
+/// # Panics
+///
+/// Same conditions as [`run_functional`].
+pub fn run_functional_with(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    opts: &FunctionalOptions,
+    run_opts: RunOptions<'_>,
+) -> FunctionalOutput {
+    let mut disabled = Telemetry::disabled();
+    let tele = run_opts.telemetry.unwrap_or(&mut disabled);
     program.validate().expect("invalid program");
     let mut out = FunctionalOutput::default();
     let mut steps = 0u64;
@@ -137,7 +163,7 @@ pub fn run_functional_with_telemetry(
                     let mut env = ExecEnv {
                         program,
                         launch,
-                        global,
+                        global: &mut *global,
                         shared: &mut run.shared,
                     };
                     let mut hooks = StepHooks {

@@ -6,6 +6,7 @@
 //! and speculation: the instruction class, active-lane count, per-lane
 //! adder operations, and memory access addresses.
 
+use crate::gmem::GlobalMem;
 use crate::simt::{Mask, SimtStack};
 use crate::trace::ValueTrace;
 use st2_core::event::{AddRecord, OpContext, WidthClass};
@@ -177,8 +178,9 @@ pub struct ExecEnv<'a> {
     pub program: &'a Program,
     /// Launch geometry.
     pub launch: LaunchConfig,
-    /// Device global memory.
-    pub global: &'a mut MemImage,
+    /// Device global memory: a plain `&mut MemImage` in serial drivers,
+    /// a [`crate::gmem::SharedGlobal`] view in parallel timed runs.
+    pub global: &'a mut dyn GlobalMem,
     /// This block's shared memory.
     pub shared: &'a mut MemImage,
 }
@@ -489,13 +491,11 @@ pub fn step(warp: &mut WarpCtx, env: &mut ExecEnv<'_>, hooks: &mut StepHooks<'_>
                 let base = warp.reg(lane, addr);
                 let ea = base.wrapping_add_signed(offset);
                 addrs.push(ea);
-                let mem: &MemImage = match space {
-                    Space::Global => env.global,
-                    Space::Shared => env.shared,
-                };
-                let v = match width {
-                    MemWidth::W4 => mem.read_i32_sext(ea) as u64,
-                    MemWidth::W8 => mem.read_u64(ea),
+                let v = match (space, width) {
+                    (Space::Global, MemWidth::W4) => env.global.read_i32_sext(ea) as u64,
+                    (Space::Global, MemWidth::W8) => env.global.read_u64(ea),
+                    (Space::Shared, MemWidth::W4) => env.shared.read_i32_sext(ea) as u64,
+                    (Space::Shared, MemWidth::W8) => env.shared.read_u64(ea),
                 };
                 write!(lane, d, v);
             }
@@ -521,13 +521,11 @@ pub fn step(warp: &mut WarpCtx, env: &mut ExecEnv<'_>, hooks: &mut StepHooks<'_>
                 let ea = base.wrapping_add_signed(offset);
                 addrs.push(ea);
                 let val = read!(lane, v);
-                let mem: &mut MemImage = match space {
-                    Space::Global => env.global,
-                    Space::Shared => env.shared,
-                };
-                match width {
-                    MemWidth::W4 => mem.write_u32(ea, val as u32),
-                    MemWidth::W8 => mem.write_u64(ea, val),
+                match (space, width) {
+                    (Space::Global, MemWidth::W4) => env.global.write_u32(ea, val as u32),
+                    (Space::Global, MemWidth::W8) => env.global.write_u64(ea, val),
+                    (Space::Shared, MemWidth::W4) => env.shared.write_u32(ea, val as u32),
+                    (Space::Shared, MemWidth::W8) => env.shared.write_u64(ea, val),
                 }
             }
             info.mem = Some(MemAccess {

@@ -1,0 +1,106 @@
+//! Global-memory access abstraction for the execution core.
+//!
+//! The functional core ([`crate::exec::step`]) performs loads and stores
+//! against device global memory. Serial drivers hand it a plain
+//! `&mut MemImage`; the parallel timed driver hands every worker a
+//! [`SharedGlobal`] view of one `RwLock<MemImage>` so all SMs mutate the
+//! same image without `unsafe`. The suite's kernels follow the CUDA
+//! block-independence contract (each thread touches its own output
+//! locations within a launch), so per-access locking preserves exact
+//! values under any thread interleaving.
+
+use st2_isa::MemImage;
+use std::sync::RwLock;
+
+/// The loads and stores [`crate::exec::step`] issues against global
+/// memory (exactly the widths the ISA supports).
+pub trait GlobalMem {
+    /// Reads 4 bytes at `addr`, sign-extended to 64 bits.
+    fn read_i32_sext(&mut self, addr: u64) -> i64;
+    /// Reads 8 bytes at `addr`.
+    fn read_u64(&mut self, addr: u64) -> u64;
+    /// Writes the low 4 bytes of `v` at `addr`.
+    fn write_u32(&mut self, addr: u64, v: u32);
+    /// Writes 8 bytes at `addr`.
+    fn write_u64(&mut self, addr: u64, v: u64);
+}
+
+impl GlobalMem for MemImage {
+    fn read_i32_sext(&mut self, addr: u64) -> i64 {
+        MemImage::read_i32_sext(self, addr)
+    }
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        MemImage::read_u64(self, addr)
+    }
+    fn write_u32(&mut self, addr: u64, v: u32) {
+        MemImage::write_u32(self, addr, v);
+    }
+    fn write_u64(&mut self, addr: u64, v: u64) {
+        MemImage::write_u64(self, addr, v);
+    }
+}
+
+/// A [`GlobalMem`] view of a lock-guarded memory image, cloneable per
+/// worker thread. Reads take the shared lock, writes the exclusive one.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedGlobal<'a> {
+    image: &'a RwLock<MemImage>,
+}
+
+impl<'a> SharedGlobal<'a> {
+    /// Wraps a lock-guarded image.
+    #[must_use]
+    pub fn new(image: &'a RwLock<MemImage>) -> Self {
+        SharedGlobal { image }
+    }
+}
+
+impl GlobalMem for SharedGlobal<'_> {
+    fn read_i32_sext(&mut self, addr: u64) -> i64 {
+        self.image
+            .read()
+            .expect("global image lock")
+            .read_i32_sext(addr)
+    }
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        self.image.read().expect("global image lock").read_u64(addr)
+    }
+    fn write_u32(&mut self, addr: u64, v: u32) {
+        self.image
+            .write()
+            .expect("global image lock")
+            .write_u32(addr, v);
+    }
+    fn write_u64(&mut self, addr: u64, v: u64) {
+        self.image
+            .write()
+            .expect("global image lock")
+            .write_u64(addr, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_image_passthrough() {
+        let mut m = MemImage::new(64);
+        let g: &mut dyn GlobalMem = &mut m;
+        g.write_u32(0, 0xFFFF_FFFF);
+        assert_eq!(g.read_i32_sext(0), -1);
+        g.write_u64(8, 0xDEAD_BEEF_0123_4567);
+        assert_eq!(g.read_u64(8), 0xDEAD_BEEF_0123_4567);
+    }
+
+    #[test]
+    fn shared_global_agrees_with_direct_access() {
+        let lock = RwLock::new(MemImage::new(32));
+        let mut a = SharedGlobal::new(&lock);
+        let mut b = SharedGlobal::new(&lock);
+        a.write_u64(0, 42);
+        assert_eq!(b.read_u64(0), 42);
+        b.write_u32(8, 7);
+        assert_eq!(lock.read().unwrap().read_u32(8), 7);
+    }
+}

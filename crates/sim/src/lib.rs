@@ -17,6 +17,16 @@
 //! * [`timed::run_timed`] — a cycle-level model producing execution time
 //!   (the §VI performance-overhead study) and the per-component activity
 //!   counts the power model consumes (Fig. 7).
+//!
+//! The timed mode is layered: [`sm::SmCore`] is a self-contained per-SM
+//! core (scheduler, scoreboard, pipes, ST² speculation) that talks to the
+//! outside world only through [`gmem::GlobalMem`] and
+//! [`memory::MemInterface`]; [`timed`] is the driver that owns block
+//! dispatch, the shared [`memory::MemoryHierarchy`], and the global
+//! clock. Because cores queue their memory transactions and the driver
+//! drains them in SM-index order each cycle, the driver can step cores on
+//! worker threads ([`GpuConfig::sim_threads`]) with **bit-identical**
+//! results to the serial path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,16 +34,22 @@
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod gmem;
 pub mod memory;
 pub mod simt;
+pub mod sm;
 pub mod stats;
 pub mod timed;
 pub mod trace;
 
 pub use config::{GpuConfig, SchedulerKind};
 pub use engine::{
-    run_functional, run_functional_with_telemetry, FunctionalOptions, FunctionalOutput,
+    run_functional, run_functional_with, run_functional_with_telemetry, FunctionalOptions,
+    FunctionalOutput,
 };
+pub use gmem::{GlobalMem, SharedGlobal};
+pub use memory::{MemInterface, RequestQueue};
+pub use sm::{CycleReport, SmCore};
 pub use stats::{ActivityCounters, InstMix, SimStats};
-pub use timed::{run_timed, run_timed_with_telemetry, TimedOutput};
+pub use timed::{run_timed, run_timed_with, run_timed_with_telemetry, RunOptions, TimedOutput};
 pub use trace::ValueTrace;

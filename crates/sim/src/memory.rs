@@ -153,6 +153,56 @@ impl MemoryHierarchy {
     }
 }
 
+/// How an SM core submits global-memory transactions without calling
+/// into the shared hierarchy mid-step.
+///
+/// [`crate::sm::SmCore::step_cycle`] queues one request per coalesced
+/// segment, tagged with a core-local `token`; the driver drains the
+/// queues against the [`MemoryHierarchy`] in SM-index order at the end of
+/// the cycle (the barrier, in parallel runs), then hands latencies back
+/// via [`crate::sm::SmCore::drain_memory`]. This keeps the L2/DRAM access
+/// sequence — and therefore every latency and counter — identical between
+/// serial and parallel drivers.
+pub trait MemInterface {
+    /// Queues one coalesced transaction touching the line at `addr`.
+    /// `token` identifies the issuing access so the core can match the
+    /// worst-case latency back to its scoreboard entry.
+    fn request(&mut self, token: u32, addr: u64);
+}
+
+/// The standard [`MemInterface`]: a FIFO of `(token, addr)` pairs
+/// preserving issue order.
+#[derive(Debug, Default)]
+pub struct RequestQueue {
+    entries: Vec<(u32, u64)>,
+}
+
+impl RequestQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        RequestQueue::default()
+    }
+
+    /// The queued requests in issue order, leaving the queue empty (the
+    /// allocation is retained for reuse via the swap in the caller).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (u32, u64)> {
+        self.entries.drain(..)
+    }
+
+    /// Whether any requests are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl MemInterface for RequestQueue {
+    fn request(&mut self, token: u32, addr: u64) {
+        self.entries.push((token, addr));
+    }
+}
+
 /// Shared-memory bank-conflict degree: with 32 four-byte-interleaved
 /// banks, the access serialises by the largest number of lanes hitting
 /// one bank with *different* words (broadcasts of the same word are

@@ -1,0 +1,686 @@
+//! The per-SM simulation core.
+//!
+//! [`SmCore`] owns everything one streaming multiprocessor needs to step
+//! a cycle — resident warps, block slots, the register scoreboard,
+//! functional-unit pipes, the ST² predictor with its Carry Register File,
+//! and per-SM activity counters — and nothing shared with other SMs.
+//! Global memory reaches it through [`crate::gmem::GlobalMem`] and the
+//! cache hierarchy through [`crate::memory::MemInterface`], so cores can
+//! step concurrently; the driver ([`crate::timed`]) drains the queued
+//! memory requests in SM-index order at the end of every cycle, which
+//! keeps serial and parallel runs bit-identical.
+//!
+//! One cycle is three phases, all driven from outside:
+//!
+//! 1. [`SmCore::step_cycle`] — schedule and issue up to `issue_width`
+//!    warp instructions, executing them functionally and queueing global
+//!    memory transactions (scoreboard destinations of in-flight loads are
+//!    parked at `u64::MAX`).
+//! 2. [`SmCore::drain_memory`] — replay the queued transactions against
+//!    the shared hierarchy and resolve the parked scoreboard entries.
+//! 3. [`SmCore::finish_cycle`] — release satisfied block barriers and
+//!    retire finished blocks.
+
+use crate::config::{GpuConfig, SchedulerKind};
+use crate::exec::{step, ExecEnv, StepHooks, WarpAdderOp, WarpCtx};
+use crate::gmem::GlobalMem;
+use crate::memory::{coalesce, MemInterface, MemoryHierarchy, RequestQueue};
+use crate::stats::ActivityCounters;
+use st2_core::adder::execute_op_with_sink;
+use st2_core::event::OpContext;
+use st2_core::predictor::Predictor;
+use st2_core::sink::EventSink;
+use st2_core::SpeculationConfig;
+use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
+use st2_telemetry::Telemetry;
+
+#[derive(Debug)]
+struct BlockSlot {
+    shared: MemImage,
+    warps_waiting: u32,
+}
+
+#[derive(Debug)]
+struct TimedWarp {
+    ctx: WarpCtx,
+    slot: usize,
+    reg_ready: Vec<u64>,
+    waiting_barrier: bool,
+    age: u64,
+}
+
+/// Number of CRF rows (the paper's 16-row Carry Register File).
+const CRF_ROWS: usize = 16;
+
+#[derive(Debug)]
+struct SmSpec {
+    config: SpeculationConfig,
+    predictor: Predictor,
+    /// Cycle of the most recent CRF write per row (row = `pc & 0xF`);
+    /// `u64::MAX` = never written. A fixed array — not a hash map — keeps
+    /// the same-cycle conflict check off the adder hot path's allocator
+    /// and hasher.
+    row_writes: [u64; CRF_ROWS],
+}
+
+impl SmSpec {
+    fn new(config: SpeculationConfig) -> Self {
+        SmSpec {
+            config,
+            predictor: Predictor::from_config(&config),
+            row_writes: [u64::MAX; CRF_ROWS],
+        }
+    }
+
+    /// Runs a warp's lane adds through the speculative adders; returns
+    /// whether any lane mispredicted (stalling the warp one cycle).
+    /// Adder/CRF activity is mirrored into `sink`.
+    fn process(
+        &mut self,
+        op: &WarpAdderOp,
+        act: &mut ActivityCounters,
+        now: u64,
+        sink: &mut dyn EventSink,
+    ) -> bool {
+        let layout = op.width.layout();
+        act.crf_reads += 1; // one row read per warp operation
+        sink.crf_read(op.pc);
+        let mut any = false;
+        for lane in &op.lanes {
+            let ctx = OpContext {
+                pc: op.pc,
+                gtid: lane.gtid as u32,
+                ltid: lane.lane,
+            };
+            let out = execute_op_with_sink(
+                &mut self.predictor,
+                &self.config,
+                layout,
+                &ctx,
+                lane.a,
+                lane.b,
+                lane.sub,
+                &mut act.adder,
+                sink,
+            );
+            any |= out.mispredicted;
+        }
+        if any {
+            // Mispredicting threads write back their new carries: one CRF
+            // row write per warp; same-cycle writes to the same row from
+            // different warps contend (random arbitration in hardware).
+            let row = (op.pc & 0xF) as usize;
+            let conflict = self.row_writes[row] == now;
+            if conflict {
+                act.crf_conflicts += 1;
+            }
+            self.row_writes[row] = now;
+            act.crf_writes += 1;
+            sink.crf_write(op.pc, conflict);
+        }
+        any
+    }
+}
+
+/// Functional-unit pool count (dense [`Pool`] indices).
+const NUM_POOLS: usize = 6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Alu,
+    Fpu,
+    Dpu,
+    MulDiv,
+    Sfu,
+    Ldst,
+}
+
+impl Pool {
+    /// Dense index into the per-SM pipe table. Doubles as the pool code
+    /// used in telemetry issue events
+    /// (see `st2_telemetry::event::pool_name`).
+    fn index(self) -> usize {
+        match self {
+            Pool::Alu => 0,
+            Pool::Fpu => 1,
+            Pool::Dpu => 2,
+            Pool::MulDiv => 3,
+            Pool::Sfu => 4,
+            Pool::Ldst => 5,
+        }
+    }
+
+    fn telemetry_code(self) -> u8 {
+        self.index() as u8
+    }
+}
+
+/// Registers read and written by an instruction (for the scoreboard).
+fn inst_regs(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
+    let mut reads = Vec::with_capacity(3);
+    let mut push_op = |o: Operand| {
+        if let Operand::Reg(r) = o {
+            reads.push(r);
+        }
+    };
+    let write = match *inst {
+        Inst::Int { d, a, b, .. } | Inst::Float { d, a, b, .. } => {
+            push_op(a);
+            push_op(b);
+            Some(d)
+        }
+        Inst::Fma { d, a, b, c, .. } => {
+            push_op(a);
+            push_op(b);
+            push_op(c);
+            Some(d)
+        }
+        Inst::Sfu { d, a, .. } | Inst::Cvt { d, a, .. } | Inst::Mov { d, a } => {
+            push_op(a);
+            Some(d)
+        }
+        Inst::Ld { d, addr, .. } => {
+            reads.push(addr);
+            Some(d)
+        }
+        Inst::St { v, addr, .. } => {
+            push_op(v);
+            reads.push(addr);
+            None
+        }
+        Inst::Bra { cond, .. } => {
+            if let Some(c) = cond {
+                reads.push(c.reg);
+            }
+            None
+        }
+        Inst::Bar | Inst::Exit => None,
+        Inst::Special { d, .. } => Some(d),
+    };
+    (reads, write)
+}
+
+fn pool_of(inst: &Inst) -> Pool {
+    match inst {
+        Inst::Int {
+            op: IntOp::Mul | IntOp::Div | IntOp::Rem,
+            ..
+        } => Pool::MulDiv,
+        Inst::Int { .. } => Pool::Alu,
+        Inst::Float { op, w, .. } => match (op, w) {
+            (st2_isa::FloatOp::Mul | st2_isa::FloatOp::Div, _) => Pool::MulDiv,
+            (_, FloatWidth::F32) => Pool::Fpu,
+            (_, FloatWidth::F64) => Pool::Dpu,
+        },
+        Inst::Fma {
+            w: FloatWidth::F32, ..
+        } => Pool::Fpu,
+        Inst::Fma {
+            w: FloatWidth::F64, ..
+        } => Pool::Dpu,
+        Inst::Sfu { .. } => Pool::Sfu,
+        Inst::Ld { .. } | Inst::St { .. } => Pool::Ldst,
+        _ => Pool::Alu,
+    }
+}
+
+/// One global-memory access in flight between [`SmCore::step_cycle`] and
+/// [`SmCore::drain_memory`] (same cycle): which warp issued it and the
+/// scoreboard destination to resolve (None for stores, which retire
+/// without blocking the warp).
+#[derive(Debug, Clone, Copy)]
+struct PendingAccess {
+    warp: usize,
+    dest: Option<Reg>,
+}
+
+/// What one [`SmCore::step_cycle`] call did, aggregated by the driver
+/// into the global clock decision.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleReport {
+    /// The SM had resident warps this cycle.
+    pub resident: bool,
+    /// At least one warp instruction issued.
+    pub issued: bool,
+    /// Earliest future cycle at which a currently-stalled warp could
+    /// issue (`u64::MAX` = no stalled warp); lets the driver fast-forward
+    /// idle stretches.
+    pub next_wake: u64,
+}
+
+impl Default for CycleReport {
+    fn default() -> Self {
+        CycleReport {
+            resident: false,
+            issued: false,
+            next_wake: u64::MAX,
+        }
+    }
+}
+
+/// A self-contained per-SM simulation core. See the module docs for the
+/// cycle protocol.
+#[derive(Debug)]
+pub struct SmCore {
+    index: usize,
+    cfg: GpuConfig,
+    warps: Vec<TimedWarp>,
+    slots: Vec<Option<BlockSlot>>,
+    pipes: [Vec<u64>; NUM_POOLS],
+    spec: Option<SmSpec>,
+    last_issued: Option<usize>,
+    age_counter: u64,
+    act: ActivityCounters,
+    pending: Vec<PendingAccess>,
+}
+
+impl SmCore {
+    /// Creates the core for SM `index` with `block_slots` resident-block
+    /// slots.
+    #[must_use]
+    pub fn new(index: usize, cfg: &GpuConfig, block_slots: u32) -> Self {
+        SmCore {
+            index,
+            cfg: *cfg,
+            warps: Vec::new(),
+            slots: (0..block_slots).map(|_| None).collect(),
+            pipes: [
+                vec![0u64; cfg.alu_pipes as usize],
+                vec![0u64; cfg.fpu_pipes as usize],
+                vec![0u64; cfg.dpu_pipes as usize],
+                vec![0u64; cfg.muldiv_pipes as usize],
+                vec![0u64; cfg.sfu_pipes as usize],
+                vec![0u64; cfg.ldst_pipes as usize],
+            ],
+            spec: cfg.speculation.map(SmSpec::new),
+            last_issued: None,
+            age_counter: 0,
+            act: ActivityCounters::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// This core's SM index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether no block is resident.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.warps.is_empty()
+    }
+
+    /// The per-SM activity accumulated so far.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityCounters {
+        &self.act
+    }
+
+    /// Places block `block` into a free slot, materialising its warps.
+    /// Returns `false` (without consuming the block) when every slot is
+    /// occupied.
+    pub fn admit_block(&mut self, block: u32, program: &Program, launch: LaunchConfig) -> bool {
+        let Some(slot) = self.slots.iter().position(Option::is_none) else {
+            return false;
+        };
+        let warps_per_block = launch.warps_per_block();
+        self.slots[slot] = Some(BlockSlot {
+            shared: MemImage::new(program.shared_bytes().max(8)),
+            warps_waiting: 0,
+        });
+        for w in 0..warps_per_block {
+            let lanes = (launch.block_dim - w * 32).min(32);
+            self.age_counter += 1;
+            self.warps.push(TimedWarp {
+                ctx: WarpCtx::new(
+                    w,
+                    block,
+                    u64::from(block) * u64::from(launch.block_dim) + u64::from(w) * 32,
+                    lanes,
+                    program.num_regs(),
+                ),
+                slot,
+                reg_ready: vec![0; usize::from(program.num_regs())],
+                waiting_barrier: false,
+                age: self.age_counter,
+            });
+        }
+        true
+    }
+
+    /// Schedules and issues up to `issue_width` warp instructions at
+    /// cycle `now`, executing them functionally against `global` and
+    /// queueing coalesced global-memory transactions on `iface` (resolved
+    /// later by [`SmCore::drain_memory`]).
+    pub fn step_cycle(
+        &mut self,
+        now: u64,
+        program: &Program,
+        launch: LaunchConfig,
+        global: &mut dyn GlobalMem,
+        iface: &mut dyn MemInterface,
+        tele: &mut Telemetry,
+    ) -> CycleReport {
+        let mut report = CycleReport::default();
+        if self.warps.is_empty() {
+            return report;
+        }
+        report.resident = true;
+        let cfg = self.cfg;
+
+        // Candidate order per the configured scheduler.
+        let mut order: Vec<usize> = (0..self.warps.len()).collect();
+        match cfg.scheduler {
+            SchedulerKind::Gto => {
+                order.sort_by_key(|&i| self.warps[i].age);
+                if let Some(last) = self.last_issued {
+                    if last < self.warps.len() {
+                        order.retain(|&i| i != last);
+                        order.insert(0, last);
+                    }
+                }
+            }
+            SchedulerKind::RoundRobin => {
+                let start = self
+                    .last_issued
+                    .map(|l| (l + 1) % self.warps.len())
+                    .unwrap_or(0);
+                order.rotate_left(start);
+            }
+        }
+
+        let mut issued_this_sm = 0u32;
+        for &wi in &order {
+            if issued_this_sm >= cfg.issue_width {
+                break;
+            }
+            // Split-borrow dance: check conditions first.
+            let (can_issue, wake) = {
+                let w = &self.warps[wi];
+                if w.waiting_barrier || w.ctx.is_done() {
+                    (false, u64::MAX)
+                } else {
+                    let pc = w.ctx.stack.pc();
+                    let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
+                    let (reads, write) = inst_regs(&inst);
+                    let mut ready_at = now;
+                    for r in reads.iter().chain(write.iter()) {
+                        ready_at = ready_at.max(w.reg_ready[usize::from(r.0)]);
+                    }
+                    let pool = pool_of(&inst);
+                    let pipe_free = self.pipes[pool.index()]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    let at = ready_at.max(pipe_free);
+                    (at <= now, at)
+                }
+            };
+            if !can_issue {
+                if wake != u64::MAX {
+                    report.next_wake = report.next_wake.min(wake.max(now + 1));
+                }
+                continue;
+            }
+
+            // Issue: execute functionally and account timing.
+            let slot = self.warps[wi].slot;
+            let pc = self.warps[wi].ctx.stack.pc();
+            let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
+            let pool = pool_of(&inst);
+            let (_, write) = inst_regs(&inst);
+            let info = {
+                let shared = &mut self.slots[slot]
+                    .as_mut()
+                    .expect("warp belongs to a live block")
+                    .shared;
+                let mut env = ExecEnv {
+                    program,
+                    launch,
+                    global,
+                    shared,
+                };
+                let mut hooks = StepHooks::default();
+                step(&mut self.warps[wi].ctx, &mut env, &mut hooks)
+            };
+
+            let act = &mut self.act;
+            act.mix.add(info.class, u64::from(info.active_threads));
+            if matches!(inst, Inst::Fma { .. }) {
+                act.fma_ops += u64::from(info.active_threads);
+            }
+            act.warp_instructions += 1;
+            act.regfile_reads += info.reg_reads;
+            act.regfile_writes += info.reg_writes;
+            if let Some(op) = &info.adder {
+                match op.width {
+                    st2_core::WidthClass::Int64 => {
+                        act.adder_int_ops += op.lanes.len() as u64;
+                    }
+                    st2_core::WidthClass::Mant24 => {
+                        act.adder_f32_ops += op.lanes.len() as u64;
+                    }
+                    st2_core::WidthClass::Mant53 => {
+                        act.adder_f64_ops += op.lanes.len() as u64;
+                    }
+                }
+            }
+
+            // Timing.
+            let mut interval = 1u64;
+            let mut latency = u64::from(match pool {
+                Pool::Alu => cfg.alu_latency,
+                Pool::Fpu => cfg.fpu_latency,
+                Pool::Dpu => cfg.dpu_latency,
+                Pool::MulDiv => match inst {
+                    Inst::Int {
+                        op: IntOp::Div | IntOp::Rem,
+                        ..
+                    }
+                    | Inst::Float {
+                        op: st2_isa::FloatOp::Div,
+                        ..
+                    } => cfg.div_latency,
+                    _ => cfg.mul_latency,
+                },
+                Pool::Sfu => cfg.sfu_latency,
+                Pool::Ldst => 0, // set below (shared) or at drain (global)
+            });
+            if pool == Pool::Sfu {
+                interval = u64::from(cfg.sfu_interval);
+            }
+            if matches!(
+                inst,
+                Inst::Int {
+                    op: IntOp::Div | IntOp::Rem,
+                    ..
+                } | Inst::Float {
+                    op: st2_isa::FloatOp::Div,
+                    ..
+                }
+            ) {
+                interval = 4;
+            }
+
+            // ST² speculation: a misprediction adds one recompute cycle
+            // to both occupancy (stall) and result latency.
+            if let (Some(spec), Some(op)) = (self.spec.as_mut(), info.adder.as_ref()) {
+                tele.set_context(self.index, now);
+                if spec.process(op, &mut self.act, now, tele) {
+                    interval += 1;
+                    latency += 1;
+                    self.act.stall_cycles += 1;
+                }
+            }
+
+            // Memory timing. Shared memory is SM-local and resolves
+            // inline; global transactions are queued on `iface` and their
+            // worst-case latency lands on the scoreboard at drain time.
+            let mut deferred_load = false;
+            if let Some(m) = &info.mem {
+                match m.space {
+                    Space::Shared => {
+                        let degree = u64::from(crate::memory::bank_conflict_degree(&m.addrs));
+                        self.act.shared_accesses += degree;
+                        if degree > 1 {
+                            self.act.shared_bank_conflicts += degree - 1;
+                        }
+                        latency = u64::from(cfg.shared_latency) + degree - 1;
+                        interval = degree;
+                    }
+                    Space::Global => {
+                        let segs = coalesce(&m.addrs, cfg.l1_line);
+                        let token = self.pending.len() as u32;
+                        for seg in &segs {
+                            iface.request(token, *seg);
+                        }
+                        self.pending.push(PendingAccess {
+                            warp: wi,
+                            dest: if m.store { None } else { write },
+                        });
+                        interval = segs.len().max(1) as u64;
+                        deferred_load = !m.store;
+                    }
+                }
+                if m.store {
+                    // Stores retire without blocking the warp.
+                    latency = 0;
+                }
+            }
+
+            // Occupy the pipe.
+            let pipe = self.pipes[pool.index()]
+                .iter_mut()
+                .min()
+                .expect("pools are non-empty");
+            *pipe = now + interval;
+
+            // Scoreboard. Global-load destinations are parked until the
+            // drain phase supplies the hierarchy latency.
+            if let Some(d) = write {
+                self.warps[wi].reg_ready[usize::from(d.0)] = if deferred_load {
+                    u64::MAX
+                } else {
+                    now + latency.max(1)
+                };
+            }
+
+            // Barrier bookkeeping.
+            if info.barrier {
+                self.warps[wi].waiting_barrier = true;
+                if let Some(bs) = self.slots[slot].as_mut() {
+                    bs.warps_waiting += 1;
+                }
+                tele.barrier(self.index, now, wi as u32);
+            }
+
+            tele.issue(self.index, now, wi as u32, pc, pool.telemetry_code());
+            self.last_issued = Some(wi);
+            issued_this_sm += 1;
+            report.issued = true;
+        }
+        report
+    }
+
+    /// Replays this core's queued transactions (issued during
+    /// [`SmCore::step_cycle`] at cycle `now`) against the shared
+    /// hierarchy, in issue order, and resolves parked scoreboard entries.
+    /// The driver calls this once per SM per cycle, in SM-index order.
+    pub fn drain_memory(
+        &mut self,
+        queue: &mut RequestQueue,
+        hier: &mut MemoryHierarchy,
+        now: u64,
+        tele: &mut Telemetry,
+    ) {
+        if self.pending.is_empty() && queue.is_empty() {
+            return;
+        }
+        let mut worst = vec![0u32; self.pending.len()];
+        for (token, addr) in queue.drain() {
+            let r = hier.access(self.index, addr, &mut self.act);
+            tele.mem_access(self.index, now, addr, r.latency, r.level());
+            worst[token as usize] = worst[token as usize].max(r.latency);
+        }
+        for (p, w) in self.pending.drain(..).zip(worst) {
+            if let Some(d) = p.dest {
+                self.warps[p.warp].reg_ready[usize::from(d.0)] = now + u64::from(w).max(1);
+            }
+        }
+    }
+
+    /// End-of-cycle bookkeeping: releases block barriers once every
+    /// resident warp is waiting or done, and retires fully-finished
+    /// blocks (freeing their slots for the next admission).
+    pub fn finish_cycle(&mut self) {
+        // Release barriers per slot.
+        for slot in 0..self.slots.len() {
+            let waiting = match &self.slots[slot] {
+                Some(bs) => bs.warps_waiting,
+                None => continue,
+            };
+            let done_count = self
+                .warps
+                .iter()
+                .filter(|w| w.slot == slot && w.ctx.is_done())
+                .count() as u32;
+            let resident = self.warps.iter().filter(|w| w.slot == slot).count() as u32;
+            if waiting > 0 && waiting + done_count == resident {
+                for w in self.warps.iter_mut().filter(|w| w.slot == slot) {
+                    w.waiting_barrier = false;
+                }
+                if let Some(bs) = self.slots[slot].as_mut() {
+                    bs.warps_waiting = 0;
+                }
+            }
+        }
+        // Retire finished blocks.
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_some()
+                && self.warps.iter().any(|w| w.slot == slot)
+                && self
+                    .warps
+                    .iter()
+                    .filter(|w| w.slot == slot)
+                    .all(|w| w.ctx.is_done())
+            {
+                self.warps.retain(|w| w.slot != slot);
+                self.slots[slot] = None;
+                self.last_issued = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crf_row_conflicts_use_fixed_rows() {
+        let mut spec = SmSpec::new(SpeculationConfig::st2());
+        assert_eq!(spec.row_writes, [u64::MAX; CRF_ROWS]);
+        // Same row (pc & 0xF), same cycle => conflict on the second write.
+        spec.row_writes[5] = 40;
+        assert_ne!(spec.row_writes[5], u64::MAX);
+        assert!(spec.row_writes[5] == 40);
+    }
+
+    #[test]
+    fn admit_fills_slots_then_refuses() {
+        use st2_isa::KernelBuilder;
+        let k = KernelBuilder::new("noop").finish();
+        let launch = LaunchConfig::new(4, 64);
+        let cfg = GpuConfig::scaled(1);
+        let mut core = SmCore::new(0, &cfg, 2);
+        assert!(core.is_idle());
+        assert!(core.admit_block(0, &k, launch));
+        assert!(core.admit_block(1, &k, launch));
+        assert!(!core.admit_block(2, &k, launch), "both slots occupied");
+        assert!(!core.is_idle());
+        assert_eq!(core.warps.len(), 2 * launch.warps_per_block() as usize);
+    }
+}

@@ -1,26 +1,40 @@
-//! The cycle-level engine: SMs, greedy-then-oldest warp scheduling, a
-//! register scoreboard, functional-unit pools, the memory hierarchy, and
-//! ST² variable-latency adders with a per-SM Carry Register File.
+//! The cycle-level driver layer: launch bookkeeping, the global clock,
+//! and the serial/parallel stepping strategies over [`SmCore`]s.
 //!
-//! The timing model is deliberately "GPGPU-Sim-shaped but lighter": each
-//! warp instruction issues atomically to a functional-unit pipe, occupying
-//! it for an issue interval and producing its results after a latency.
-//! ST² mispredictions lengthen both by one cycle — the stall signal of the
-//! paper's Fig. 4 — which is exactly how the design's ~0.36 % average
-//! performance overhead arises.
+//! All per-SM behaviour (scheduling, scoreboard, FU pipes, ST²
+//! speculation) lives in [`crate::sm`]; this module owns only what is
+//! shared across SMs — block dispatch, the memory hierarchy, and time.
+//! Every cycle runs the same three-phase protocol regardless of driver:
+//!
+//! 1. admit at most one block per SM (SM-index order),
+//! 2. step every core ([`SmCore::step_cycle`]) — concurrently in the
+//!    parallel driver, which is safe because cores only touch global
+//!    memory through [`crate::gmem::GlobalMem`] and queue their cache
+//!    transactions instead of touching the hierarchy,
+//! 3. drain the queued transactions in SM-index order
+//!    ([`SmCore::drain_memory`]), finish the cycle, and advance the
+//!    clock (fast-forwarding idle stretches to the earliest wake-up).
+//!
+//! Because phase 3 replays memory transactions in the same total order
+//! the serial driver produces, cycles, activity counters and adder
+//! accuracy are **bit-identical** at every `sim_threads` setting; the
+//! knob is purely wall-clock. The timing model itself is deliberately
+//! "GPGPU-Sim-shaped but lighter": each warp instruction issues
+//! atomically to a functional-unit pipe, occupying it for an issue
+//! interval and producing its results after a latency. ST² mispredictions
+//! lengthen both by one cycle — the stall signal of the paper's Fig. 4 —
+//! which is exactly how the design's ~0.36 % average performance overhead
+//! arises.
 
 use crate::config::GpuConfig;
-use crate::exec::{step, ExecEnv, StepHooks, WarpAdderOp, WarpCtx};
-use crate::memory::{coalesce, MemoryHierarchy};
+use crate::gmem::SharedGlobal;
+use crate::memory::{MemoryHierarchy, RequestQueue};
+use crate::sm::{CycleReport, SmCore};
 use crate::stats::ActivityCounters;
-use st2_core::adder::execute_op_with_sink;
-use st2_core::event::OpContext;
-use st2_core::predictor::Predictor;
-use st2_core::sink::EventSink;
-use st2_core::SpeculationConfig;
-use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
+use st2_isa::{LaunchConfig, MemImage, Program};
 use st2_telemetry::Telemetry;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 /// Result of a timed run.
 #[derive(Debug, Clone, Default)]
@@ -31,192 +45,27 @@ pub struct TimedOutput {
     pub activity: ActivityCounters,
 }
 
-#[derive(Debug)]
-struct BlockSlot {
-    shared: MemImage,
-    live_warps: u32,
-    warps_waiting: u32,
+/// Options shared by the unified run entry points
+/// ([`run_timed_with`] / [`crate::engine::run_functional_with`]).
+#[derive(Default)]
+pub struct RunOptions<'t> {
+    /// Telemetry collector observing the run; `None` records nothing at
+    /// zero cost.
+    pub telemetry: Option<&'t mut Telemetry>,
 }
 
-#[derive(Debug)]
-struct TimedWarp {
-    ctx: WarpCtx,
-    slot: usize,
-    reg_ready: Vec<u64>,
-    waiting_barrier: bool,
-    age: u64,
-}
-
-#[derive(Debug)]
-struct SmSpec {
-    config: SpeculationConfig,
-    predictor: Predictor,
-    /// (cycle, row) of CRF writes for same-cycle conflict detection.
-    row_writes: HashMap<u32, u64>,
-}
-
-impl SmSpec {
-    fn new(config: SpeculationConfig) -> Self {
-        SmSpec {
-            config,
-            predictor: Predictor::from_config(&config),
-            row_writes: HashMap::new(),
-        }
-    }
-
-    /// Runs a warp's lane adds through the speculative adders; returns
-    /// whether any lane mispredicted (stalling the warp one cycle).
-    /// Adder/CRF activity is mirrored into `sink`.
-    fn process(
-        &mut self,
-        op: &WarpAdderOp,
-        act: &mut ActivityCounters,
-        now: u64,
-        sink: &mut dyn EventSink,
-    ) -> bool {
-        let layout = op.width.layout();
-        act.crf_reads += 1; // one row read per warp operation
-        sink.crf_read(op.pc);
-        let mut any = false;
-        for lane in &op.lanes {
-            let ctx = OpContext {
-                pc: op.pc,
-                gtid: lane.gtid as u32,
-                ltid: lane.lane,
-            };
-            let out = execute_op_with_sink(
-                &mut self.predictor,
-                &self.config,
-                layout,
-                &ctx,
-                lane.a,
-                lane.b,
-                lane.sub,
-                &mut act.adder,
-                sink,
-            );
-            any |= out.mispredicted;
-        }
-        if any {
-            // Mispredicting threads write back their new carries: one CRF
-            // row write per warp; same-cycle writes to the same row from
-            // different warps contend (random arbitration in hardware).
-            let row = op.pc & 0xF;
-            let conflict = self.row_writes.get(&row) == Some(&now);
-            if conflict {
-                act.crf_conflicts += 1;
-            }
-            self.row_writes.insert(row, now);
-            act.crf_writes += 1;
-            sink.crf_write(op.pc, conflict);
-        }
-        any
-    }
-}
-
-#[derive(Debug)]
-struct Sm {
-    warps: Vec<TimedWarp>,
-    slots: Vec<Option<BlockSlot>>,
-    pipes: HashMap<Pool, Vec<u64>>,
-    spec: Option<SmSpec>,
-    last_issued: Option<usize>,
-    age_counter: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Pool {
-    Alu,
-    Fpu,
-    Dpu,
-    MulDiv,
-    Sfu,
-    Ldst,
-}
-
-impl Pool {
-    /// The pool code used in telemetry issue events
-    /// (see `st2_telemetry::event::pool_name`).
-    fn telemetry_code(self) -> u8 {
-        match self {
-            Pool::Alu => 0,
-            Pool::Fpu => 1,
-            Pool::Dpu => 2,
-            Pool::MulDiv => 3,
-            Pool::Sfu => 4,
-            Pool::Ldst => 5,
+impl<'t> RunOptions<'t> {
+    /// Options with an observing telemetry collector.
+    #[must_use]
+    pub fn with_telemetry(tele: &'t mut Telemetry) -> Self {
+        RunOptions {
+            telemetry: Some(tele),
         }
     }
 }
 
-/// Registers read and written by an instruction (for the scoreboard).
-fn inst_regs(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
-    let mut reads = Vec::with_capacity(3);
-    let mut push_op = |o: Operand| {
-        if let Operand::Reg(r) = o {
-            reads.push(r);
-        }
-    };
-    let write = match *inst {
-        Inst::Int { d, a, b, .. } | Inst::Float { d, a, b, .. } => {
-            push_op(a);
-            push_op(b);
-            Some(d)
-        }
-        Inst::Fma { d, a, b, c, .. } => {
-            push_op(a);
-            push_op(b);
-            push_op(c);
-            Some(d)
-        }
-        Inst::Sfu { d, a, .. } | Inst::Cvt { d, a, .. } | Inst::Mov { d, a } => {
-            push_op(a);
-            Some(d)
-        }
-        Inst::Ld { d, addr, .. } => {
-            reads.push(addr);
-            Some(d)
-        }
-        Inst::St { v, addr, .. } => {
-            push_op(v);
-            reads.push(addr);
-            None
-        }
-        Inst::Bra { cond, .. } => {
-            if let Some(c) = cond {
-                reads.push(c.reg);
-            }
-            None
-        }
-        Inst::Bar | Inst::Exit => None,
-        Inst::Special { d, .. } => Some(d),
-    };
-    (reads, write)
-}
-
-fn pool_of(inst: &Inst) -> Pool {
-    match inst {
-        Inst::Int {
-            op: IntOp::Mul | IntOp::Div | IntOp::Rem,
-            ..
-        } => Pool::MulDiv,
-        Inst::Int { .. } => Pool::Alu,
-        Inst::Float { op, w, .. } => match (op, w) {
-            (st2_isa::FloatOp::Mul | st2_isa::FloatOp::Div, _) => Pool::MulDiv,
-            (_, FloatWidth::F32) => Pool::Fpu,
-            (_, FloatWidth::F64) => Pool::Dpu,
-        },
-        Inst::Fma {
-            w: FloatWidth::F32, ..
-        } => Pool::Fpu,
-        Inst::Fma {
-            w: FloatWidth::F64, ..
-        } => Pool::Dpu,
-        Inst::Sfu { .. } => Pool::Sfu,
-        Inst::Ld { .. } | Inst::St { .. } => Pool::Ldst,
-        _ => Pool::Alu,
-    }
-}
+/// Deadlock guard: no suite kernel comes near this.
+const MAX_CYCLES: u64 = 50_000_000_000;
 
 /// Runs a kernel launch on the cycle-level model.
 ///
@@ -230,7 +79,7 @@ pub fn run_timed(
     global: &mut MemImage,
     cfg: &GpuConfig,
 ) -> TimedOutput {
-    run_timed_with_telemetry(program, launch, global, cfg, &mut Telemetry::disabled())
+    run_timed_with(program, launch, global, cfg, RunOptions::default())
 }
 
 /// [`run_timed`] with a telemetry collector observing the run.
@@ -250,368 +99,275 @@ pub fn run_timed_with_telemetry(
     cfg: &GpuConfig,
     tele: &mut Telemetry,
 ) -> TimedOutput {
+    run_timed_with(
+        program,
+        launch,
+        global,
+        cfg,
+        RunOptions::with_telemetry(tele),
+    )
+}
+
+/// The unified timed entry point: one signature for plain and observed
+/// runs, dispatching on [`GpuConfig::effective_sim_threads`] between the
+/// serial driver and the cycle-barrier parallel driver. Results are
+/// bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Same conditions as [`run_timed`].
+pub fn run_timed_with(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    cfg: &GpuConfig,
+    opts: RunOptions<'_>,
+) -> TimedOutput {
     program.validate().expect("invalid program");
-    let mut act = ActivityCounters::default();
-    let mut mem = MemoryHierarchy::new(cfg);
+    let mut disabled = Telemetry::disabled();
+    let tele = opts.telemetry.unwrap_or(&mut disabled);
+    let threads = cfg.effective_sim_threads();
+    if threads <= 1 {
+        run_serial(program, launch, global, cfg, tele)
+    } else {
+        run_parallel(program, launch, global, cfg, tele, threads as usize)
+    }
+}
 
-    let warps_per_block = launch.warps_per_block();
-    let blocks_per_sm_limit = cfg
-        .max_blocks_per_sm
-        .min(cfg.max_warps_per_sm / warps_per_block.max(1))
-        .max(1);
+/// Resident-block slots per SM for this launch.
+fn block_slots(cfg: &GpuConfig, launch: LaunchConfig) -> u32 {
+    cfg.max_blocks_per_sm
+        .min(cfg.max_warps_per_sm / launch.warps_per_block().max(1))
+        .max(1)
+}
 
-    let mut sms: Vec<Sm> = (0..cfg.num_sms)
-        .map(|_| {
-            let mut pipes = HashMap::new();
-            pipes.insert(Pool::Alu, vec![0u64; cfg.alu_pipes as usize]);
-            pipes.insert(Pool::Fpu, vec![0u64; cfg.fpu_pipes as usize]);
-            pipes.insert(Pool::Dpu, vec![0u64; cfg.dpu_pipes as usize]);
-            pipes.insert(Pool::MulDiv, vec![0u64; cfg.muldiv_pipes as usize]);
-            pipes.insert(Pool::Sfu, vec![0u64; cfg.sfu_pipes as usize]);
-            pipes.insert(Pool::Ldst, vec![0u64; cfg.ldst_pipes as usize]);
-            Sm {
-                warps: Vec::new(),
-                slots: (0..blocks_per_sm_limit).map(|_| None).collect(),
-                pipes,
-                spec: cfg.speculation.map(SmSpec::new),
-                last_issued: None,
-                age_counter: 0,
-            }
-        })
+/// The global clock decision: advance by one cycle when work issued,
+/// otherwise jump to the earliest wake-up point.
+fn next_cycle(now: u64, any_issued: bool, next_wake: u64) -> u64 {
+    if any_issued || next_wake == u64::MAX {
+        now + 1
+    } else {
+        next_wake.max(now + 1)
+    }
+}
+
+/// The serial driver (`sim_threads = 1`): steps SMs in index order on
+/// the calling thread.
+fn run_serial(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    cfg: &GpuConfig,
+    tele: &mut Telemetry,
+) -> TimedOutput {
+    let slots = block_slots(cfg, launch);
+    let mut cores: Vec<SmCore> = (0..cfg.num_sms)
+        .map(|i| SmCore::new(i as usize, cfg, slots))
         .collect();
+    let mut queues: Vec<RequestQueue> = (0..cfg.num_sms).map(|_| RequestQueue::new()).collect();
+    let mut hier = MemoryHierarchy::new(cfg);
 
+    let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
-    let max_cycles = 50_000_000_000u64;
-
-    // Assigns at most one pending block to a free slot (called every
-    // cycle per SM, yielding round-robin block distribution).
-    fn refill(
-        sm: &mut Sm,
-        next_block: &mut u32,
-        launch: LaunchConfig,
-        program: &Program,
-        warps_per_block: u32,
-    ) {
-        for slot in 0..sm.slots.len() {
-            if sm.slots[slot].is_some() || *next_block >= launch.grid_dim {
-                continue;
-            }
-            let b = *next_block;
-            *next_block += 1;
-            sm.slots[slot] = Some(BlockSlot {
-                shared: MemImage::new(program.shared_bytes().max(8)),
-                live_warps: warps_per_block,
-                warps_waiting: 0,
-            });
-            for w in 0..warps_per_block {
-                let lanes = (launch.block_dim - w * 32).min(32);
-                sm.age_counter += 1;
-                sm.warps.push(TimedWarp {
-                    ctx: WarpCtx::new(
-                        w,
-                        b,
-                        u64::from(b) * u64::from(launch.block_dim) + u64::from(w) * 32,
-                        lanes,
-                        program.num_regs(),
-                    ),
-                    slot,
-                    reg_ready: vec![0; usize::from(program.num_regs())],
-                    waiting_barrier: false,
-                    age: sm.age_counter,
-                });
-            }
-            break; // one block per call
-        }
-    }
-
-    for sm in sms.iter_mut() {
-        refill(sm, &mut next_block, launch, program, warps_per_block);
-    }
 
     loop {
+        // Phase 1: admission, at most one block per SM per cycle.
+        for core in cores.iter_mut() {
+            if next_block < launch.grid_dim && core.admit_block(next_block, program, launch) {
+                next_block += 1;
+            }
+        }
+
+        // Phase 2: step every core.
         let mut any_resident = false;
         let mut any_issued = false;
         let mut next_wake = u64::MAX;
-
         let mut busy_sms = 0u64;
-        let mut idle_sms = 0u64;
-        for (sm_idx, sm) in sms.iter_mut().enumerate() {
-            if next_block < launch.grid_dim {
-                refill(sm, &mut next_block, launch, program, warps_per_block);
-            }
-            if sm.warps.is_empty() {
-                idle_sms += 1;
-                continue;
-            }
-            any_resident = true;
-            busy_sms += 1;
-
-            // Candidate order per the configured scheduler.
-            let mut order: Vec<usize> = (0..sm.warps.len()).collect();
-            match cfg.scheduler {
-                crate::config::SchedulerKind::Gto => {
-                    order.sort_by_key(|&i| sm.warps[i].age);
-                    if let Some(last) = sm.last_issued {
-                        if last < sm.warps.len() {
-                            order.retain(|&i| i != last);
-                            order.insert(0, last);
-                        }
-                    }
-                }
-                crate::config::SchedulerKind::RoundRobin => {
-                    let start = sm
-                        .last_issued
-                        .map(|l| (l + 1) % sm.warps.len())
-                        .unwrap_or(0);
-                    order.rotate_left(start);
-                }
-            }
-
-            let mut issued_this_sm = 0u32;
-            for &wi in &order {
-                if issued_this_sm >= cfg.issue_width {
-                    break;
-                }
-                // Split-borrow dance: check conditions first.
-                let (can_issue, wake) = {
-                    let w = &sm.warps[wi];
-                    if w.waiting_barrier || w.ctx.is_done() {
-                        (false, u64::MAX)
-                    } else {
-                        let pc = w.ctx.stack.pc();
-                        let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
-                        let (reads, write) = inst_regs(&inst);
-                        let mut ready_at = now;
-                        for r in reads.iter().chain(write.iter()) {
-                            ready_at = ready_at.max(w.reg_ready[usize::from(r.0)]);
-                        }
-                        let pool = pool_of(&inst);
-                        let pipe_free = sm.pipes[&pool].iter().copied().min().unwrap_or(u64::MAX);
-                        let at = ready_at.max(pipe_free);
-                        (at <= now, at)
-                    }
-                };
-                if !can_issue {
-                    if wake != u64::MAX {
-                        next_wake = next_wake.min(wake.max(now + 1));
-                    }
-                    continue;
-                }
-
-                // Issue: execute functionally and account timing.
-                let slot = sm.warps[wi].slot;
-                let pc = sm.warps[wi].ctx.stack.pc();
-                let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
-                let pool = pool_of(&inst);
-                let info = {
-                    let shared = &mut sm.slots[slot]
-                        .as_mut()
-                        .expect("warp belongs to a live block")
-                        .shared;
-                    let mut env = ExecEnv {
-                        program,
-                        launch,
-                        global,
-                        shared,
-                    };
-                    let mut hooks = StepHooks::default();
-                    step(&mut sm.warps[wi].ctx, &mut env, &mut hooks)
-                };
-
-                act.mix.add(info.class, u64::from(info.active_threads));
-                if matches!(inst, Inst::Fma { .. }) {
-                    act.fma_ops += u64::from(info.active_threads);
-                }
-                act.warp_instructions += 1;
-                act.regfile_reads += info.reg_reads;
-                act.regfile_writes += info.reg_writes;
-                if let Some(op) = &info.adder {
-                    match op.width {
-                        st2_core::WidthClass::Int64 => {
-                            act.adder_int_ops += op.lanes.len() as u64;
-                        }
-                        st2_core::WidthClass::Mant24 => {
-                            act.adder_f32_ops += op.lanes.len() as u64;
-                        }
-                        st2_core::WidthClass::Mant53 => {
-                            act.adder_f64_ops += op.lanes.len() as u64;
-                        }
-                    }
-                }
-
-                // Timing.
-                let mut interval = 1u64;
-                let mut latency = u64::from(match pool {
-                    Pool::Alu => cfg.alu_latency,
-                    Pool::Fpu => cfg.fpu_latency,
-                    Pool::Dpu => cfg.dpu_latency,
-                    Pool::MulDiv => match inst {
-                        Inst::Int {
-                            op: IntOp::Div | IntOp::Rem,
-                            ..
-                        }
-                        | Inst::Float {
-                            op: st2_isa::FloatOp::Div,
-                            ..
-                        } => cfg.div_latency,
-                        _ => cfg.mul_latency,
-                    },
-                    Pool::Sfu => cfg.sfu_latency,
-                    Pool::Ldst => 0, // set below
-                });
-                if pool == Pool::Sfu {
-                    interval = u64::from(cfg.sfu_interval);
-                }
-                if matches!(
-                    inst,
-                    Inst::Int {
-                        op: IntOp::Div | IntOp::Rem,
-                        ..
-                    } | Inst::Float {
-                        op: st2_isa::FloatOp::Div,
-                        ..
-                    }
-                ) {
-                    interval = 4;
-                }
-
-                // ST² speculation: a misprediction adds one recompute cycle
-                // to both occupancy (stall) and result latency.
-                if let (Some(spec), Some(op)) = (sm.spec.as_mut(), info.adder.as_ref()) {
-                    tele.set_context(sm_idx, now);
-                    if spec.process(op, &mut act, now, tele) {
-                        interval += 1;
-                        latency += 1;
-                        act.stall_cycles += 1;
-                    }
-                }
-
-                // Memory timing.
-                if let Some(m) = &info.mem {
-                    match m.space {
-                        Space::Shared => {
-                            let degree = u64::from(crate::memory::bank_conflict_degree(&m.addrs));
-                            act.shared_accesses += degree;
-                            if degree > 1 {
-                                act.shared_bank_conflicts += degree - 1;
-                            }
-                            latency = u64::from(cfg.shared_latency) + degree - 1;
-                            interval = degree;
-                        }
-                        Space::Global => {
-                            let segs = coalesce(&m.addrs, cfg.l1_line);
-                            let mut worst = 0u32;
-                            for seg in &segs {
-                                let r = mem.access(sm_idx, *seg, &mut act);
-                                tele.mem_access(sm_idx, now, *seg, r.latency, r.level());
-                                worst = worst.max(r.latency);
-                            }
-                            latency = u64::from(worst);
-                            interval = segs.len().max(1) as u64;
-                        }
-                    }
-                    if m.store {
-                        // Stores retire without blocking the warp.
-                        latency = 0;
-                    }
-                }
-
-                // Occupy the pipe.
-                let pipes = sm.pipes.get_mut(&pool).expect("pool exists");
-                let pipe = pipes.iter_mut().min().expect("pools are non-empty");
-                *pipe = now + interval;
-
-                // Scoreboard.
-                let (_, write) = inst_regs(&inst);
-                if let Some(d) = write {
-                    sm.warps[wi].reg_ready[usize::from(d.0)] = now + latency.max(1);
-                }
-
-                // Barrier bookkeeping.
-                if info.barrier {
-                    sm.warps[wi].waiting_barrier = true;
-                    if let Some(bs) = sm.slots[slot].as_mut() {
-                        bs.warps_waiting += 1;
-                    }
-                    tele.barrier(sm_idx, now, wi as u32);
-                }
-
-                tele.issue(sm_idx, now, wi as u32, pc, pool.telemetry_code());
-                sm.last_issued = Some(wi);
-                issued_this_sm += 1;
-                any_issued = true;
-            }
-
-            // Barrier release + warp/block retirement.
-            for wi in 0..sm.warps.len() {
-                if sm.warps[wi].ctx.is_done() {
-                    continue;
-                }
-            }
-            // Release barriers per slot.
-            for slot in 0..sm.slots.len() {
-                let (waiting, live) = match &sm.slots[slot] {
-                    Some(bs) => (bs.warps_waiting, bs.live_warps),
-                    None => continue,
-                };
-                let done_count = sm
-                    .warps
-                    .iter()
-                    .filter(|w| w.slot == slot && w.ctx.is_done())
-                    .count() as u32;
-                let _ = live;
-                let resident = sm.warps.iter().filter(|w| w.slot == slot).count() as u32;
-                if waiting > 0 && waiting + done_count == resident {
-                    for w in sm.warps.iter_mut().filter(|w| w.slot == slot) {
-                        w.waiting_barrier = false;
-                    }
-                    if let Some(bs) = sm.slots[slot].as_mut() {
-                        bs.warps_waiting = 0;
-                    }
-                }
-            }
-            // Retire finished warps and blocks.
-            let mut freed = false;
-            for slot in 0..sm.slots.len() {
-                if sm.slots[slot].is_some()
-                    && sm
-                        .warps
-                        .iter()
-                        .filter(|w| w.slot == slot)
-                        .all(|w| w.ctx.is_done())
-                    && sm.warps.iter().any(|w| w.slot == slot)
-                {
-                    sm.warps.retain(|w| w.slot != slot);
-                    sm.slots[slot] = None;
-                    sm.last_issued = None;
-                    freed = true;
-                }
-            }
-            let _ = freed;
+        for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
+            let r = core.step_cycle(now, program, launch, &mut *global, queue, tele);
+            any_resident |= r.resident;
+            any_issued |= r.issued;
+            next_wake = next_wake.min(r.next_wake);
+            busy_sms += u64::from(r.resident);
         }
-
         if !any_resident && next_block >= launch.grid_dim {
             break;
         }
-        // Advance time: by one cycle when work was issued, otherwise jump
-        // to the next wake-up point (scoreboard/pipe availability). SM
-        // active/idle accounting covers the whole interval, not just the
-        // iteration, so fast-forwarding does not distort static energy.
-        let next_now = if any_issued || next_wake == u64::MAX {
-            now + 1
-        } else {
-            next_wake.max(now + 1)
-        };
+
+        // Phase 3: drain memory in SM-index order, finish, advance time.
+        // SM active/idle accounting covers the whole interval, not just
+        // the iteration, so fast-forwarding does not distort static
+        // energy.
+        for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
+            core.drain_memory(queue, &mut hier, now, tele);
+            core.finish_cycle();
+        }
+        let next_now = next_cycle(now, any_issued, next_wake);
         let dt = next_now - now;
         act.active_sm_cycles += busy_sms * dt;
-        act.idle_sm_cycles += idle_sms * dt;
+        act.idle_sm_cycles += (u64::from(cfg.num_sms) - busy_sms) * dt;
         now = next_now;
         tele.advance(now);
-        assert!(now < max_cycles, "simulation exceeded cycle limit");
+        assert!(now < MAX_CYCLES, "simulation exceeded cycle limit");
     }
 
+    for core in &cores {
+        act.merge(core.activity());
+    }
     act.cycles = now;
+    tele.finalize(now);
+    TimedOutput {
+        cycles: now,
+        activity: act,
+    }
+}
+
+/// One SM's worker-side state bundle: the core, its request queue, its
+/// private telemetry collector, and the last cycle's report. Workers and
+/// the driver alternate exclusive access across the cycle barrier.
+struct SmUnit {
+    core: SmCore,
+    queue: RequestQueue,
+    tele: Telemetry,
+    report: CycleReport,
+}
+
+/// The parallel driver: `threads` workers step disjoint SM subsets each
+/// cycle; the main thread owns everything shared (block dispatch, the
+/// memory hierarchy, the clock) and runs the drain phase at the barrier
+/// in SM-index order, which makes results bit-identical to
+/// [`run_serial`].
+fn run_parallel(
+    program: &Program,
+    launch: LaunchConfig,
+    global: &mut MemImage,
+    cfg: &GpuConfig,
+    tele: &mut Telemetry,
+    threads: usize,
+) -> TimedOutput {
+    let slots = block_slots(cfg, launch);
+    let num_sms = cfg.num_sms as usize;
+    // Move the image behind a lock for the workers; restored on exit.
+    let image = RwLock::new(std::mem::replace(global, MemImage::new(0)));
+
+    let units: Vec<Mutex<SmUnit>> = (0..num_sms)
+        .map(|i| {
+            Mutex::new(SmUnit {
+                core: SmCore::new(i, cfg, slots),
+                queue: RequestQueue::new(),
+                tele: if tele.is_enabled() {
+                    Telemetry::for_run(1, tele.config())
+                } else {
+                    Telemetry::disabled()
+                },
+                report: CycleReport::default(),
+            })
+        })
+        .collect();
+
+    // Two rendezvous per cycle: one to release the workers into the step
+    // phase, one to hand exclusive access back to the driver.
+    let barrier = Barrier::new(threads + 1);
+    let clock = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    let mut hier = MemoryHierarchy::new(cfg);
+    let mut act = ActivityCounters::default();
+    let mut next_block = 0u32;
+    let mut now = 0u64;
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (barrier, clock, done) = (&barrier, &clock, &done);
+            let (units, image) = (&units, &image);
+            s.spawn(move || {
+                let mut global = SharedGlobal::new(image);
+                loop {
+                    barrier.wait(); // start of cycle
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = clock.load(Ordering::Acquire);
+                    for i in (t..num_sms).step_by(threads) {
+                        let mut unit = units[i].lock().expect("sm unit lock");
+                        let unit = &mut *unit;
+                        unit.report = unit.core.step_cycle(
+                            now,
+                            program,
+                            launch,
+                            &mut global,
+                            &mut unit.queue,
+                            &mut unit.tele,
+                        );
+                    }
+                    barrier.wait(); // end of step phase
+                }
+            });
+        }
+
+        loop {
+            // Phase 1: admission (workers are parked at the barrier).
+            for unit in units.iter() {
+                if next_block >= launch.grid_dim {
+                    break;
+                }
+                let mut unit = unit.lock().expect("sm unit lock");
+                if unit.core.admit_block(next_block, program, launch) {
+                    next_block += 1;
+                }
+            }
+
+            // Phase 2: let the workers step this cycle.
+            clock.store(now, Ordering::Release);
+            barrier.wait();
+            barrier.wait();
+
+            let mut any_resident = false;
+            let mut any_issued = false;
+            let mut next_wake = u64::MAX;
+            let mut busy_sms = 0u64;
+            for unit in units.iter() {
+                let r = unit.lock().expect("sm unit lock").report;
+                any_resident |= r.resident;
+                any_issued |= r.issued;
+                next_wake = next_wake.min(r.next_wake);
+                busy_sms += u64::from(r.resident);
+            }
+            if !any_resident && next_block >= launch.grid_dim {
+                done.store(true, Ordering::Release);
+                barrier.wait(); // release the workers into their exit path
+                break;
+            }
+
+            // Phase 3: drain in SM-index order against the shared
+            // hierarchy, finish the cycle, advance every clock.
+            let next_now = next_cycle(now, any_issued, next_wake);
+            for unit in units.iter() {
+                let mut unit = unit.lock().expect("sm unit lock");
+                let unit = &mut *unit;
+                unit.core
+                    .drain_memory(&mut unit.queue, &mut hier, now, &mut unit.tele);
+                unit.core.finish_cycle();
+                unit.tele.advance(next_now);
+            }
+            let dt = next_now - now;
+            act.active_sm_cycles += busy_sms * dt;
+            act.idle_sm_cycles += (num_sms as u64 - busy_sms) * dt;
+            now = next_now;
+            assert!(now < MAX_CYCLES, "simulation exceeded cycle limit");
+        }
+    });
+
+    for unit in units {
+        let unit = unit.into_inner().expect("sm unit lock");
+        act.merge(unit.core.activity());
+        if tele.is_enabled() {
+            tele.absorb(&unit.tele, unit.core.index());
+        }
+    }
+    act.cycles = now;
+    *global = image.into_inner().expect("global image lock");
     tele.finalize(now);
     TimedOutput {
         cycles: now,
@@ -622,7 +378,7 @@ pub fn run_timed_with_telemetry(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st2_isa::{KernelBuilder, Special};
+    use st2_isa::{KernelBuilder, Operand, Special};
 
     fn compute_kernel() -> (Program, LaunchConfig, MemImage) {
         // out[t] = sum_{i<64} (t + i) — ALU-heavy.
@@ -709,5 +465,56 @@ mod tests {
         assert!(out.activity.regfile_reads > 0);
         assert!(out.activity.mix.count(st2_isa::InstClass::AluAdd) > 0);
         assert!(out.activity.adder_int_ops > 0);
+    }
+
+    #[test]
+    fn parallel_driver_is_bit_identical_to_serial() {
+        let (p, launch, g0) = compute_kernel();
+        for cfg in [GpuConfig::scaled(4), GpuConfig::scaled(4).with_st2()] {
+            let mut g1 = g0.clone();
+            let mut g2 = g0.clone();
+            let serial = run_timed(&p, launch, &mut g1, &cfg.with_sim_threads(1));
+            let parallel = run_timed(&p, launch, &mut g2, &cfg.with_sim_threads(3));
+            assert_eq!(serial.cycles, parallel.cycles);
+            assert_eq!(serial.activity, parallel.activity);
+            assert_eq!(g1.as_bytes(), g2.as_bytes());
+        }
+    }
+
+    #[test]
+    fn parallel_telemetry_merges_to_serial_totals() {
+        use st2_telemetry::TelemetryConfig;
+        let (p, launch, g0) = compute_kernel();
+        let cfg = GpuConfig::scaled(3).with_st2();
+        let run = |threads: u32| {
+            let mut g = g0.clone();
+            let mut tele = Telemetry::for_run(3, TelemetryConfig::default());
+            let out = run_timed_with_telemetry(
+                &p,
+                launch,
+                &mut g,
+                &cfg.with_sim_threads(threads),
+                &mut tele,
+            );
+            (out, tele)
+        };
+        let (out1, tele1) = run(1);
+        let (out2, tele2) = run(2);
+        assert_eq!(out1.cycles, out2.cycles);
+        assert_eq!(out1.activity, out2.activity);
+        assert_eq!(tele1.registry().counters(), tele2.registry().counters());
+        assert_eq!(
+            tele1.series().column("adder.accuracy"),
+            tele2.series().column("adder.accuracy")
+        );
+        assert_eq!(tele1.cycles(), tele2.cycles());
+        // Per-SM events land in the same per-SM rings either way.
+        let ring_lens = |t: &Telemetry| {
+            t.rings()
+                .iter()
+                .map(st2_telemetry::RingBuffer::len)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ring_lens(&tele1), ring_lens(&tele2));
     }
 }

@@ -205,6 +205,67 @@ impl Telemetry {
         self.enabled
     }
 
+    /// The sizing/cadence configuration this collector was built with
+    /// (used to spawn per-SM child collectors for parallel runs).
+    #[must_use]
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// Folds a per-SM child collector (a `Telemetry::for_run(1, ..)`
+    /// observing only SM `sm`) into this one.
+    ///
+    /// The parallel timed driver gives every SM its own collector so
+    /// workers never contend, then absorbs them in SM-index order at the
+    /// end of the run. Ring events land in this collector's ring for
+    /// `sm` (span names re-interned); counters, histograms and per-PC
+    /// stats sum; interval rows merge pointwise — both sides snapshot at
+    /// the same global-clock boundaries — with the accuracy ratio
+    /// recomputed from the summed op/mispredict deltas, making the merged
+    /// accuracy series bit-identical to a serial run's (the IPC column is
+    /// a sum of per-SM ratios: mathematically equal, floating-point
+    /// rounding aside). Call
+    /// [`Telemetry::finalize`] after the last absorb to take the final
+    /// partial snapshot and freeze summary gauges.
+    pub fn absorb(&mut self, other: &Telemetry, sm: usize) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        for ring in &other.rings {
+            for ev in ring.iter_in_order() {
+                let kind = match ev.kind {
+                    EventKind::Span { name, duration } => EventKind::Span {
+                        name: self.intern_span_name(other.span_name(name)),
+                        duration,
+                    },
+                    k => k,
+                };
+                self.record_event(sm, ev.cycle, kind);
+            }
+        }
+        self.registry.absorb(&other.registry);
+        for (&pc, s) in &other.pc_stats {
+            let e = self.pc_stats.entry(pc).or_default();
+            e.ops += s.ops;
+            e.mispredicts += s.mispredicts;
+        }
+        self.series.merge_sum(&other.series);
+        let acc_idx = 0; // SERIES_COLUMNS order: accuracy, ops, mispredicts, ipc
+        self.series.map_points(|_, vals| {
+            let (d_ops, d_mis) = (vals[1], vals[2]);
+            vals[acc_idx] = if d_ops == 0.0 {
+                1.0
+            } else {
+                1.0 - d_mis / d_ops
+            };
+        });
+        self.base.ops += other.base.ops;
+        self.base.mispredicts += other.base.mispredicts;
+        self.base.instructions += other.base.instructions;
+        self.base.cycle = self.base.cycle.max(other.base.cycle);
+        self.next_snapshot = self.next_snapshot.max(other.next_snapshot);
+    }
+
     /// Sets the SM / cycle context subsequent sink callbacks attribute
     /// their events to. Cheap; call before handing `self` to core as an
     /// [`EventSink`].
