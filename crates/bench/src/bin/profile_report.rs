@@ -1,0 +1,159 @@
+//! `profile_report` — run the evaluation suite on the ST² timed model
+//! with the warp-stall attribution profiler enabled and emit an
+//! nvprof-style kernel profile per kernel: stall-reason breakdown bars,
+//! occupancy summary, and the top hot PCs with source-DSL labels.
+//!
+//! ```text
+//! cargo run --release --bin profile_report -- \
+//!     [--scale test|tiny|full] [--kernels <substring>] \
+//!     [--sim-threads <n>] [--out <dir>]
+//! ```
+//!
+//! With `--out`, each kernel's profile is also written as
+//! `<dir>/<kernel>.profile.json` (losslessly parseable back with
+//! `KernelProfile::from_json`) plus a combined `<dir>/profile.json`
+//! array.
+//!
+//! Every kernel's per-SM issue-slot accounting is checked to reconcile
+//! exactly: attributed stalls + issued slots = cycles × issue_width,
+//! per SM. A violation aborts the report — it would mean the profiler
+//! lost track of a cycle.
+
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+use st2::prelude::*;
+use st2_bench::{header, BenchArgs};
+
+/// Hot-PC rows shown per kernel.
+const TOP_N: usize = 8;
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    if !args.rest.is_empty() {
+        eprintln!("unexpected arguments: {:?}", args.rest);
+        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>]");
+        return ExitCode::FAILURE;
+    }
+    let cfg = args.gpu().with_st2();
+
+    let specs: Vec<KernelSpec> = suite(args.scale)
+        .into_iter()
+        .filter(|s| args.matches(s.name))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("--kernels filter matches no suite kernel");
+        return ExitCode::FAILURE;
+    }
+
+    // Profile kernels in parallel (each run is deterministic and owns its
+    // collector); print in suite order afterwards.
+    let results: Mutex<Vec<(usize, KernelProfile)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for (i, spec) in specs.into_iter().enumerate() {
+            let results = &results;
+            let cfg = &cfg;
+            s.spawn(move || {
+                let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
+                let mut mem = spec.memory.clone();
+                let out = run_timed_with(
+                    &spec.program,
+                    spec.launch,
+                    &mut mem,
+                    cfg,
+                    RunOptions::with_telemetry(&mut tele),
+                );
+                spec.verify(&mem)
+                    .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
+                let profile = KernelProfile::capture(&tele, spec.name, Some(&spec.program));
+                check_reconciliation(&profile, cfg, out.cycles);
+                results
+                    .lock()
+                    .expect("profile results lock")
+                    .push((i, profile));
+            });
+        }
+    });
+    let mut profiles = results.into_inner().expect("profile results lock");
+    profiles.sort_by_key(|(i, _)| *i);
+    let profiles: Vec<KernelProfile> = profiles.into_iter().map(|(_, p)| p).collect();
+
+    for profile in &profiles {
+        print!("{}", profile.render(TOP_N));
+        println!();
+    }
+
+    header("profile summary");
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>9} {:>9}",
+        "kernel", "cycles", "IPC", "util%", "top-stall", "fetch_oob"
+    );
+    for p in &profiles {
+        let t = p.total();
+        let top = st2::telemetry::profile::ALL_STALL_REASONS
+            .iter()
+            .copied()
+            .max_by_key(|r| t.stalls[r.index()])
+            .map_or("-", StallReason::name);
+        println!(
+            "{:<14} {:>10} {:>7.3} {:>7.1} {:>9} {:>9}",
+            p.kernel,
+            p.cycles,
+            p.warp_instructions as f64 / p.cycles.max(1) as f64,
+            100.0 * t.issued as f64 / t.slots.max(1) as f64,
+            top,
+            t.fetch_oob,
+        );
+    }
+
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut docs = Vec::new();
+        for p in &profiles {
+            let doc = p.to_json();
+            let path = dir.join(format!("{}.profile.json", p.kernel));
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+            docs.push(doc);
+        }
+        let combined = dir.join("profile.json");
+        if let Err(e) = std::fs::write(&combined, format!("[{}]", docs.join(","))) {
+            eprintln!("cannot write {}: {e}", combined.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", combined.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Every SM's slot accounting must balance to the cycle count exactly.
+fn check_reconciliation(profile: &KernelProfile, cfg: &GpuConfig, cycles: u64) {
+    for (i, sm) in profile.sms.iter().enumerate() {
+        assert_eq!(
+            sm.cycles, cycles,
+            "{}: SM{i} profile covers {} of {} cycles",
+            profile.kernel, sm.cycles, cycles
+        );
+        assert_eq!(
+            sm.slots,
+            cycles * u64::from(cfg.issue_width),
+            "{}: SM{i} slot total diverged from cycles x issue_width",
+            profile.kernel
+        );
+        assert_eq!(
+            sm.unattributed(),
+            0,
+            "{}: SM{i} has unattributed issue slots (issued {} + stalled {} != {})",
+            profile.kernel,
+            sm.issued,
+            sm.stalled(),
+            sm.slots
+        );
+    }
+}

@@ -16,7 +16,8 @@ use st2::sim::ActivityCounters;
 ///
 /// Recognised flags (all optional, any order):
 ///
-/// * `--scale test|full` — problem sizes (default full)
+/// * `--scale test|tiny|full` — problem sizes (default full; `tiny` is
+///   an alias for `test`)
 /// * `--out <dir>` — also write machine-readable CSV artifacts there
 /// * `--kernels <substring>` — restrict suite runs to kernels whose name
 ///   contains the substring
@@ -68,9 +69,11 @@ impl BenchArgs {
             match tok.as_str() {
                 "--scale" => {
                     args.scale = match value("--scale").as_str() {
-                        "test" => Scale::Test,
+                        // "tiny" is a CI-friendly alias for the smallest
+                        // problem sizes the suite defines.
+                        "test" | "tiny" => Scale::Test,
                         "full" => Scale::Full,
-                        other => panic!("--scale must be test or full, got {other:?}"),
+                        other => panic!("--scale must be test, tiny or full, got {other:?}"),
                     };
                 }
                 "--out" => args.out = Some(std::path::PathBuf::from(value("--out"))),

@@ -166,6 +166,15 @@ impl GpuConfig {
         self
     }
 
+    /// Sets the per-SM dual/quad-issue width (issue slots per cycle).
+    /// The warp-stall profiler attributes exactly `issue_width` slots
+    /// per SM per cycle, so this also scales its slot accounting.
+    #[must_use]
+    pub fn with_issue_width(mut self, width: u32) -> Self {
+        self.issue_width = width.max(1);
+        self
+    }
+
     /// Sets the host worker-thread count for timed runs (`0` = auto).
     #[must_use]
     pub fn with_sim_threads(mut self, threads: u32) -> Self {

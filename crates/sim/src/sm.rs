@@ -32,7 +32,7 @@ use st2_core::predictor::Predictor;
 use st2_core::sink::EventSink;
 use st2_core::SpeculationConfig;
 use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
-use st2_telemetry::Telemetry;
+use st2_telemetry::{CycleProfile, StallReason, Telemetry};
 
 #[derive(Debug)]
 struct BlockSlot {
@@ -45,6 +45,14 @@ struct TimedWarp {
     ctx: WarpCtx,
     slot: usize,
     reg_ready: Vec<u64>,
+    /// Whether the pending write to each register came from a deferred
+    /// global load (profiler: distinguishes `MemPending` from
+    /// `Scoreboard` stalls). Tracks the *latest* write per register.
+    mem_dep: Vec<bool>,
+    /// Outstanding ST² mispredict repair cycles charged to this warp:
+    /// incremented per mispredicting issue, consumed by the profiler to
+    /// reclassify one observed dependency-stall cycle as `AdderRepair`.
+    repair_debt: u64,
     waiting_barrier: bool,
     age: u64,
 }
@@ -272,6 +280,12 @@ pub struct SmCore {
     age_counter: u64,
     act: ActivityCounters,
     pending: Vec<PendingAccess>,
+    /// Per-cycle profiling scratch, flushed by [`SmCore::commit_profile`]
+    /// once the driver knows the cycle's global length.
+    cycle_profile: CycleProfile,
+    /// Stall reasons of non-issued warps this cycle, scheduler order
+    /// (reused buffer for issue-slot attribution).
+    stall_scratch: Vec<StallReason>,
 }
 
 impl SmCore {
@@ -297,6 +311,8 @@ impl SmCore {
             age_counter: 0,
             act: ActivityCounters::default(),
             pending: Vec::new(),
+            cycle_profile: CycleProfile::default(),
+            stall_scratch: Vec::new(),
         }
     }
 
@@ -343,6 +359,8 @@ impl SmCore {
                 ),
                 slot,
                 reg_ready: vec![0; usize::from(program.num_regs())],
+                mem_dep: vec![false; usize::from(program.num_regs())],
+                repair_debt: 0,
                 waiting_barrier: false,
                 age: self.age_counter,
             });
@@ -364,11 +382,21 @@ impl SmCore {
         tele: &mut Telemetry,
     ) -> CycleReport {
         let mut report = CycleReport::default();
+        let cfg = self.cfg;
+        // Profiling classifies why each warp failed to issue. It reads
+        // the same state the issue decision reads and never changes which
+        // warps issue, so enabling it cannot perturb timing.
+        let profiling = tele.is_enabled();
+        if profiling {
+            self.cycle_profile.reset();
+        }
         if self.warps.is_empty() {
+            if profiling {
+                self.cycle_profile.slot_stalls[StallReason::NoBlock.index()] = cfg.issue_width;
+            }
             return report;
         }
         report.resident = true;
-        let cfg = self.cfg;
 
         // Candidate order per the configured scheduler.
         let mut order: Vec<usize> = (0..self.warps.len()).collect();
@@ -393,21 +421,40 @@ impl SmCore {
 
         let mut issued_this_sm = 0u32;
         for &wi in &order {
-            if issued_this_sm >= cfg.issue_width {
+            // When profiling, keep scanning past the issue-width cap so
+            // every warp-cycle gets a stall attribution; otherwise stop
+            // early exactly as before. Issuing is capped either way, and
+            // the extra `next_wake` candidates the profiling scan finds
+            // are irrelevant: the clock only fast-forwards on cycles
+            // where *no* SM issued, and reaching the cap means we issued.
+            if issued_this_sm >= cfg.issue_width && !profiling {
                 break;
             }
-            // Split-borrow dance: check conditions first.
-            let (can_issue, wake) = {
+            // Split-borrow dance: check conditions first. `reason` is the
+            // profiler's stall attribution (None when issuable), and
+            // `consume_repair` flags a dependency stall reclassified as
+            // ST² mispredict repair.
+            let (can_issue, wake, reason, consume_repair) = {
                 let w = &self.warps[wi];
-                if w.waiting_barrier || w.ctx.is_done() {
-                    (false, u64::MAX)
+                if w.ctx.is_done() {
+                    (false, u64::MAX, Some(StallReason::Done), false)
+                } else if w.waiting_barrier {
+                    (false, u64::MAX, Some(StallReason::Barrier), false)
                 } else {
                     let pc = w.ctx.stack.pc();
                     let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
                     let (reads, write) = inst_regs(&inst);
+                    // Track the first register attaining the max ready
+                    // time: the binding dependency for stall attribution
+                    // (`>` keeps the first among ties — deterministic).
                     let mut ready_at = now;
+                    let mut dep_reg: Option<Reg> = None;
                     for r in reads.iter().chain(write.iter()) {
-                        ready_at = ready_at.max(w.reg_ready[usize::from(r.0)]);
+                        let t = w.reg_ready[usize::from(r.0)];
+                        if t > ready_at {
+                            ready_at = t;
+                            dep_reg = Some(*r);
+                        }
                     }
                     let pool = pool_of(&inst);
                     let pipe_free = self.pipes[pool.index()]
@@ -416,20 +463,71 @@ impl SmCore {
                         .min()
                         .unwrap_or(u64::MAX);
                     let at = ready_at.max(pipe_free);
-                    (at <= now, at)
+                    if at <= now {
+                        (true, at, None, false)
+                    } else if ready_at > now {
+                        // Register dependency binds (checked before the
+                        // pipe: the operand must exist before structural
+                        // hazards matter).
+                        let on_load = dep_reg
+                            .map(|r| w.mem_dep[usize::from(r.0)])
+                            .unwrap_or(false);
+                        if on_load {
+                            (false, at, Some(StallReason::MemPending), false)
+                        } else if w.repair_debt > 0 {
+                            (false, at, Some(StallReason::AdderRepair), true)
+                        } else {
+                            (false, at, Some(StallReason::Scoreboard), false)
+                        }
+                    } else {
+                        (false, at, Some(StallReason::pipe(pool.index())), false)
+                    }
                 }
             };
             if !can_issue {
                 if wake != u64::MAX {
                     report.next_wake = report.next_wake.min(wake.max(now + 1));
                 }
+                if profiling {
+                    if consume_repair {
+                        self.warps[wi].repair_debt -= 1;
+                    }
+                    let reason = reason.unwrap_or(StallReason::Scoreboard);
+                    self.stall_scratch.push(reason);
+                    if reason != StallReason::Done {
+                        let pc = self.warps[wi].ctx.stack.pc();
+                        self.cycle_profile.pc_stalls.push((pc, reason));
+                    }
+                }
+                continue;
+            }
+            if issued_this_sm >= cfg.issue_width {
+                // Profiling scan only: ready warp that lost arbitration
+                // (every issue slot already taken this cycle).
+                self.cycle_profile.eligible_warps += 1;
+                let pc = self.warps[wi].ctx.stack.pc();
+                self.cycle_profile
+                    .pc_stalls
+                    .push((pc, StallReason::NotSelected));
+                self.stall_scratch.push(StallReason::NotSelected);
                 continue;
             }
 
             // Issue: execute functionally and account timing.
             let slot = self.warps[wi].slot;
             let pc = self.warps[wi].ctx.stack.pc();
-            let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
+            let fetched = program.fetch(pc).copied();
+            if fetched.is_none() {
+                // Out-of-range PC masked to a clean exit: legal for the
+                // fallthrough off the last instruction, but worth
+                // counting — a nonzero total on a well-formed program
+                // means a control-flow bug upstream.
+                self.act.fetch_oob += 1;
+                if profiling {
+                    self.cycle_profile.fetch_oob += 1;
+                }
+            }
+            let inst = fetched.unwrap_or(Inst::Exit);
             let pool = pool_of(&inst);
             let (_, write) = inst_regs(&inst);
             let info = {
@@ -513,6 +611,7 @@ impl SmCore {
                     interval += 1;
                     latency += 1;
                     self.act.stall_cycles += 1;
+                    self.warps[wi].repair_debt += 1;
                 }
             }
 
@@ -566,6 +665,7 @@ impl SmCore {
                 } else {
                     now + latency.max(1)
                 };
+                self.warps[wi].mem_dep[usize::from(d.0)] = deferred_load;
             }
 
             // Barrier bookkeeping.
@@ -578,11 +678,50 @@ impl SmCore {
             }
 
             tele.issue(self.index, now, wi as u32, pc, pool.telemetry_code());
+            if profiling {
+                self.cycle_profile.issued += 1;
+                self.cycle_profile.eligible_warps += 1;
+                self.cycle_profile.pc_issued.push(pc);
+            }
             self.last_issued = Some(wi);
             issued_this_sm += 1;
             report.issued = true;
         }
+
+        if profiling {
+            self.cycle_profile.active_warps = self.warps.len() as u32;
+            // Issue-slot attribution: the `issue_width - issued` empty
+            // slots are charged to the first non-issued warps' reasons in
+            // scheduler order; slots with no stalled warp left to blame
+            // had no candidate at all. `NotSelected` entries only exist
+            // when every slot issued (empty == 0), so they are never
+            // charged to a slot.
+            let empty = cfg.issue_width - issued_this_sm;
+            let mut charged = 0u32;
+            for &r in &self.stall_scratch {
+                if charged >= empty {
+                    break;
+                }
+                if r == StallReason::NotSelected {
+                    continue;
+                }
+                self.cycle_profile.slot_stalls[r.index()] += 1;
+                charged += 1;
+            }
+            self.cycle_profile.slot_stalls[StallReason::NoWarp.index()] += empty - charged;
+            self.stall_scratch.clear();
+        }
         report
+    }
+
+    /// Flushes this cycle's profiling scratch into `tele`'s profile
+    /// collector, scaled to the `dt` clock ticks the driver decided the
+    /// cycle covers (> 1 only when no SM issued and the clock
+    /// fast-forwarded to the next wake-up). The driver calls this once
+    /// per SM per stepped cycle, before advancing telemetry time; a
+    /// disabled collector makes it a no-op.
+    pub fn commit_profile(&mut self, dt: u64, tele: &mut Telemetry) {
+        tele.profile_commit(self.index, dt, &self.cycle_profile);
     }
 
     /// Replays this core's queued transactions (issued during

@@ -136,6 +136,10 @@ pub struct ActivityCounters {
     /// Same-cycle same-row CRF write conflicts (losers of the paper's
     /// random arbitration).
     pub crf_conflicts: u64,
+    /// Instruction fetches whose PC fell off the end of the program and
+    /// were masked to `exit`. Nonzero on a well-formed program indicates
+    /// a control-flow bug.
+    pub fetch_oob: u64,
 }
 
 impl ActivityCounters {
@@ -166,6 +170,7 @@ impl ActivityCounters {
         self.crf_reads += other.crf_reads;
         self.crf_writes += other.crf_writes;
         self.crf_conflicts += other.crf_conflicts;
+        self.fetch_oob += other.fetch_oob;
     }
 
     /// All thread-level adder operations.
@@ -209,6 +214,7 @@ impl ActivityCounters {
         out.crf_reads *= e;
         out.crf_writes *= e;
         out.crf_conflicts *= e;
+        out.fetch_oob *= e;
         out.adder.ops *= e;
         out.adder.mispredicted_ops *= e;
         out.adder.extra_cycles *= e;
@@ -323,6 +329,7 @@ mod tests {
             crf_reads: 179 * e,
             crf_writes: 181 * e,
             crf_conflicts: 191 * e,
+            fetch_oob: 193 * e,
         }
     }
 

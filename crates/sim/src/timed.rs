@@ -199,12 +199,13 @@ fn run_serial(
         // SM active/idle accounting covers the whole interval, not just
         // the iteration, so fast-forwarding does not distort static
         // energy.
+        let next_now = next_cycle(now, any_issued, next_wake);
+        let dt = next_now - now;
         for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
             core.drain_memory(queue, &mut hier, now, tele);
             core.finish_cycle();
+            core.commit_profile(dt, tele);
         }
-        let next_now = next_cycle(now, any_issued, next_wake);
-        let dt = next_now - now;
         act.active_sm_cycles += busy_sms * dt;
         act.idle_sm_cycles += (u64::from(cfg.num_sms) - busy_sms) * dt;
         now = next_now;
@@ -343,15 +344,16 @@ fn run_parallel(
             // Phase 3: drain in SM-index order against the shared
             // hierarchy, finish the cycle, advance every clock.
             let next_now = next_cycle(now, any_issued, next_wake);
+            let dt = next_now - now;
             for unit in units.iter() {
                 let mut unit = unit.lock().expect("sm unit lock");
                 let unit = &mut *unit;
                 unit.core
                     .drain_memory(&mut unit.queue, &mut hier, now, &mut unit.tele);
                 unit.core.finish_cycle();
+                unit.core.commit_profile(dt, &mut unit.tele);
                 unit.tele.advance(next_now);
             }
-            let dt = next_now - now;
             act.active_sm_cycles += busy_sms * dt;
             act.idle_sm_cycles += (num_sms as u64 - busy_sms) * dt;
             now = next_now;

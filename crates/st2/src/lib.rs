@@ -53,5 +53,7 @@ pub mod prelude {
         run_timed_with, run_timed_with_telemetry, FunctionalOptions, GpuConfig, RunOptions,
         SchedulerKind, TimedOutput, ValueTrace,
     };
-    pub use st2_telemetry::{Telemetry, TelemetryConfig};
+    pub use st2_telemetry::{
+        KernelProfile, ProfileCollector, StallReason, Telemetry, TelemetryConfig,
+    };
 }

@@ -30,6 +30,7 @@ pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod summary;
 
 use std::collections::HashMap;
@@ -41,6 +42,7 @@ use st2_core::sink::EventSink;
 
 pub use event::{Event, EventKind, RingBuffer};
 pub use metrics::{Histogram, IntervalSeries, MetricsRegistry};
+pub use profile::{CycleProfile, KernelProfile, ProfileCollector, SmProfile, StallReason};
 
 /// Sizing and cadence knobs.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +51,10 @@ pub struct TelemetryConfig {
     pub ring_capacity: usize,
     /// Cycles between interval snapshots.
     pub interval_cycles: u64,
+    /// Distinct PCs tracked in the warp-stall profiler's hotspot table
+    /// before new PCs fold into an overflow bucket
+    /// (see [`profile::PC_OVERFLOW`]).
+    pub profile_pc_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -56,6 +62,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             ring_capacity: 4096,
             interval_cycles: 1024,
+            profile_pc_capacity: 4096,
         }
     }
 }
@@ -112,6 +119,7 @@ pub struct Telemetry {
     series: IntervalSeries,
     span_names: Vec<String>,
     ids: Option<HotIds>,
+    profile: ProfileCollector,
     pc_stats: HashMap<u32, PcStat>,
     last_issue: Vec<u64>,
     cur_sm: usize,
@@ -133,12 +141,14 @@ impl Telemetry {
             config: TelemetryConfig {
                 ring_capacity: 0,
                 interval_cycles: u64::MAX,
+                profile_pc_capacity: 1,
             },
             rings: Vec::new(),
             registry: MetricsRegistry::new(),
             series: IntervalSeries::default(),
             span_names: Vec::new(),
             ids: None,
+            profile: ProfileCollector::new(0, 1),
             pc_stats: HashMap::new(),
             last_issue: Vec::new(),
             cur_sm: 0,
@@ -188,6 +198,7 @@ impl Telemetry {
             series: IntervalSeries::new(SERIES_COLUMNS.iter().map(|s| (*s).to_string()).collect()),
             span_names: Vec::new(),
             ids: Some(ids),
+            profile: ProfileCollector::new(num_sms, config.profile_pc_capacity),
             pc_stats: HashMap::new(),
             last_issue: vec![u64::MAX; num_sms.max(1)],
             cur_sm: 0,
@@ -244,6 +255,7 @@ impl Telemetry {
             }
         }
         self.registry.absorb(&other.registry);
+        self.profile.absorb(&other.profile, sm);
         for (&pc, s) in &other.pc_stats {
             let e = self.pc_stats.entry(pc).or_default();
             e.ops += s.ops;
@@ -379,6 +391,7 @@ impl Telemetry {
     }
 
     fn take_snapshot(&mut self, cycle: u64) {
+        self.profile.snapshot(cycle);
         let Some(ids) = self.ids else { return };
         let ops = self.registry.counter_value(ids.adder_ops);
         let mis = self.registry.counter_value(ids.adder_mispredicts);
@@ -461,6 +474,24 @@ impl Telemetry {
     #[must_use]
     pub fn rings(&self) -> &[RingBuffer] {
         &self.rings
+    }
+
+    /// The warp-stall / hotspot / occupancy profile collector.
+    #[must_use]
+    pub fn profile(&self) -> &ProfileCollector {
+        &self.profile
+    }
+
+    /// Folds one SM's per-cycle profiling scratch (covering `dt` clock
+    /// ticks) into the profile collector. The simulator calls this once
+    /// per SM per stepped cycle, after the cycle's global length is
+    /// known.
+    #[inline]
+    pub fn profile_commit(&mut self, sm: usize, dt: u64, cp: &CycleProfile) {
+        if !self.enabled {
+            return;
+        }
+        self.profile.commit(sm, dt, cp);
     }
 
     /// Per-PC prediction accuracy, worst first:
@@ -650,6 +681,7 @@ mod tests {
             TelemetryConfig {
                 ring_capacity: 16,
                 interval_cycles: 100,
+                profile_pc_capacity: 64,
             },
         );
         let ctx = OpContext::default();

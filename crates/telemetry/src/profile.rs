@@ -1,0 +1,1075 @@
+//! Warp-stall attribution profiling: per-PC hotspot counters, per-SM
+//! issue-slot accounting, and an occupancy/IPC interval timeline.
+//!
+//! The cycle-level simulator classifies, every cycle, why each resident
+//! warp did not issue ([`StallReason`]) and reports the classification
+//! here through a per-SM scratch buffer ([`CycleProfile`]). The collector
+//! keeps two complementary views:
+//!
+//! * **Issue-slot accounting** ([`SmProfile`]) — every SM owns
+//!   `issue_width` issue slots per cycle; each slot either issued or is
+//!   attributed to exactly one [`StallReason`]. The invariant
+//!   `issued + Σ stalls == cycles × issue_width` holds *exactly* (see
+//!   [`SmProfile::unattributed`]), which is what lets per-kernel stall
+//!   breakdowns reconcile against total cycles the way CUPTI/nvprof
+//!   metrics do.
+//! * **Per-PC hotspots** ([`PcCounters`]) — a bounded table keyed by
+//!   program counter: slots issued at that PC, and warp-cycles stalled
+//!   *at* that PC by reason (the PC of the instruction that could not
+//!   issue, as in nvprof's per-instruction stall attribution). Joined at
+//!   capture time with the adder per-PC accuracy the collector already
+//!   tracks.
+//!
+//! Everything merges deterministically: per-SM collectors from the
+//! parallel timed driver fold into the parent via
+//! [`ProfileCollector::absorb`] with pure integer sums, so 1/2/4-thread
+//! runs produce bit-identical profiles.
+//!
+//! [`KernelProfile`] is the portable snapshot: captured from a finalized
+//! [`Telemetry`], rendered as an nvprof-style text report
+//! ([`KernelProfile::render`]) with source-DSL labels from [`st2_isa`],
+//! and exported/parsed losslessly as JSON ([`KernelProfile::to_json`] /
+//! [`KernelProfile::from_json`]).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Value, Writer};
+use crate::metrics::IntervalSeries;
+use crate::Telemetry;
+
+/// Number of [`StallReason`] values (dense indices `0..NUM_STALL_REASONS`).
+pub const NUM_STALL_REASONS: usize = 14;
+
+/// Why a warp (or an SM issue slot) failed to issue in a cycle.
+///
+/// The first block of reasons is warp-centric — the binding constraint
+/// of one resident warp. The final three only appear in issue-slot
+/// accounting: [`StallReason::NotSelected`] marks a ready warp that lost
+/// scheduler arbitration (every slot already filled), and
+/// [`StallReason::NoWarp`] / [`StallReason::NoBlock`] mark slots with no
+/// candidate warp at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// RAW/WAW dependency on the register scoreboard (an ALU/FPU result
+    /// not yet written back).
+    Scoreboard,
+    /// Dependency on an in-flight global-memory load.
+    MemPending,
+    /// Dependency stall whose final cycle was added by an ST² speculative
+    /// -adder misprediction repair (the paper's variable-latency penalty).
+    AdderRepair,
+    /// Waiting at a block-wide barrier.
+    Barrier,
+    /// ALU pipes all busy.
+    PipeAlu,
+    /// FPU pipes all busy.
+    PipeFpu,
+    /// DPU pipes all busy.
+    PipeDpu,
+    /// Multiply/divide pipes all busy.
+    PipeMulDiv,
+    /// SFU pipe busy (long issue interval).
+    PipeSfu,
+    /// LD/ST ports all busy.
+    PipeLdst,
+    /// Warp finished (`exit` on every lane) but its block has not retired
+    /// yet.
+    Done,
+    /// Warp was ready to issue but every issue slot was already taken
+    /// this cycle (scheduler arbitration loss; slot accounting never uses
+    /// it).
+    NotSelected,
+    /// Issue slot had no candidate warp left (fewer resident warps than
+    /// slots).
+    NoWarp,
+    /// SM had no resident block at all (idle slot).
+    NoBlock,
+}
+
+/// All reasons in dense-index order.
+pub const ALL_STALL_REASONS: [StallReason; NUM_STALL_REASONS] = [
+    StallReason::Scoreboard,
+    StallReason::MemPending,
+    StallReason::AdderRepair,
+    StallReason::Barrier,
+    StallReason::PipeAlu,
+    StallReason::PipeFpu,
+    StallReason::PipeDpu,
+    StallReason::PipeMulDiv,
+    StallReason::PipeSfu,
+    StallReason::PipeLdst,
+    StallReason::Done,
+    StallReason::NotSelected,
+    StallReason::NoWarp,
+    StallReason::NoBlock,
+];
+
+impl StallReason {
+    /// Dense index (`0..NUM_STALL_REASONS`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The reason at a dense index, if in range.
+    #[must_use]
+    pub fn from_index(i: usize) -> Option<StallReason> {
+        ALL_STALL_REASONS.get(i).copied()
+    }
+
+    /// Pipe-busy reason for a functional-unit pool's dense index (the
+    /// same encoding as [`crate::event::pool_name`]).
+    #[must_use]
+    pub fn pipe(pool: usize) -> StallReason {
+        match pool {
+            0 => StallReason::PipeAlu,
+            1 => StallReason::PipeFpu,
+            2 => StallReason::PipeDpu,
+            3 => StallReason::PipeMulDiv,
+            4 => StallReason::PipeSfu,
+            _ => StallReason::PipeLdst,
+        }
+    }
+
+    /// Stable snake_case name (used as the JSON key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::MemPending => "mem_pending",
+            StallReason::AdderRepair => "adder_repair",
+            StallReason::Barrier => "barrier",
+            StallReason::PipeAlu => "pipe_alu",
+            StallReason::PipeFpu => "pipe_fpu",
+            StallReason::PipeDpu => "pipe_dpu",
+            StallReason::PipeMulDiv => "pipe_muldiv",
+            StallReason::PipeSfu => "pipe_sfu",
+            StallReason::PipeLdst => "pipe_ldst",
+            StallReason::Done => "done",
+            StallReason::NotSelected => "not_selected",
+            StallReason::NoWarp => "no_warp",
+            StallReason::NoBlock => "no_block",
+        }
+    }
+
+    /// Looks a reason up by its [`StallReason::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<StallReason> {
+        ALL_STALL_REASONS.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One cycle's profiling scratch, owned by the simulator's per-SM core
+/// and flushed into the collector once the cycle's global length is
+/// known (the driver may fast-forward idle stretches, so a "cycle" can
+/// cover `dt > 1` clock ticks).
+///
+/// The vectors are reused across cycles — [`CycleProfile::reset`] clears
+/// them without releasing capacity, keeping the hot path allocation-free
+/// after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfile {
+    /// Warp instructions issued this cycle.
+    pub issued: u32,
+    /// Non-issued slot attribution for this cycle
+    /// (`issued + Σ slot_stalls == issue_width` for a stepped SM).
+    pub slot_stalls: [u32; NUM_STALL_REASONS],
+    /// Resident warps this cycle.
+    pub active_warps: u32,
+    /// Warps that were ready to issue (issued or lost arbitration).
+    pub eligible_warps: u32,
+    /// Out-of-range instruction fetches masked to `exit` this cycle.
+    pub fetch_oob: u32,
+    /// PCs of the instructions issued this cycle.
+    pub pc_issued: Vec<u32>,
+    /// `(pc, reason)` of every resident warp that failed to issue this
+    /// cycle (finished warps carry no meaningful PC and are excluded).
+    pub pc_stalls: Vec<(u32, StallReason)>,
+}
+
+impl CycleProfile {
+    /// Clears the scratch for the next cycle, keeping allocations.
+    pub fn reset(&mut self) {
+        self.issued = 0;
+        self.slot_stalls = [0; NUM_STALL_REASONS];
+        self.active_warps = 0;
+        self.eligible_warps = 0;
+        self.fetch_oob = 0;
+        self.pc_issued.clear();
+        self.pc_stalls.clear();
+    }
+}
+
+/// Per-SM issue-slot accounting.
+///
+/// Every cycle contributes `issue_width` slots; each slot either issued
+/// a warp instruction or is charged to exactly one [`StallReason`], so
+/// `issued + Σ stalls == slots` exactly — see
+/// [`SmProfile::unattributed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmProfile {
+    /// Clock cycles covered (equals the run's total cycles).
+    pub cycles: u64,
+    /// Issue slots owned (`cycles × issue_width`).
+    pub slots: u64,
+    /// Slots that issued a warp instruction.
+    pub issued: u64,
+    /// Slots attributed per stall reason (dense [`StallReason`] index).
+    pub stalls: [u64; NUM_STALL_REASONS],
+    /// Out-of-range instruction fetches masked to `exit` (should be 0
+    /// for any well-formed program).
+    pub fetch_oob: u64,
+}
+
+impl SmProfile {
+    /// Total slots attributed to stall reasons.
+    #[must_use]
+    pub fn stalled(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Slots neither issued nor attributed (0 when the accounting
+    /// reconciles exactly; negative would mean double-charging).
+    #[must_use]
+    pub fn unattributed(&self) -> i128 {
+        i128::from(self.slots) - i128::from(self.issued) - i128::from(self.stalled())
+    }
+
+    /// Folds another SM profile into this one.
+    pub fn merge(&mut self, other: &SmProfile) {
+        self.cycles += other.cycles;
+        self.slots += other.slots;
+        self.issued += other.issued;
+        for (s, o) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *s += o;
+        }
+        self.fetch_oob += other.fetch_oob;
+    }
+}
+
+/// Per-PC hotspot counters: issue slots and warp-cycle stalls charged to
+/// one program counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcCounters {
+    /// Issue slots spent at this PC.
+    pub issued: u64,
+    /// Warp-cycles stalled at this PC, per reason (dense index).
+    pub stalls: [u64; NUM_STALL_REASONS],
+}
+
+impl PcCounters {
+    /// Total stalled warp-cycles at this PC.
+    #[must_use]
+    pub fn stalled(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Folds another PC's counters into this one.
+    pub fn merge(&mut self, other: &PcCounters) {
+        self.issued += other.issued;
+        for (s, o) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *s += o;
+        }
+    }
+}
+
+/// Occupancy-timeline column names (raw extensive sums per interval;
+/// ratios are computed at render time so per-SM merges stay exact).
+pub const PROFILE_SERIES_COLUMNS: [&str; 4] = [
+    "occ.warp_cycles",
+    "occ.eligible_cycles",
+    "occ.issued_slots",
+    "occ.total_slots",
+];
+
+/// Cumulative occupancy totals (for interval deltas).
+#[derive(Debug, Clone, Copy, Default)]
+struct OccTotals {
+    warp_cycles: u64,
+    eligible_cycles: u64,
+    issued_slots: u64,
+    total_slots: u64,
+}
+
+impl OccTotals {
+    fn add(&mut self, other: &OccTotals) {
+        self.warp_cycles += other.warp_cycles;
+        self.eligible_cycles += other.eligible_cycles;
+        self.issued_slots += other.issued_slots;
+        self.total_slots += other.total_slots;
+    }
+}
+
+/// PC key used for hotspot entries evicted by the table bound.
+pub const PC_OVERFLOW: u32 = u32::MAX;
+
+/// The stall/hotspot/occupancy collector carried inside [`Telemetry`].
+#[derive(Debug, Clone)]
+pub struct ProfileCollector {
+    sms: Vec<SmProfile>,
+    pcs: HashMap<u32, PcCounters>,
+    pc_capacity: usize,
+    /// Counters folded into the [`PC_OVERFLOW`] bucket once the table is
+    /// full (keeps slot totals exact even when PCs are dropped).
+    overflow_events: u64,
+    series: IntervalSeries,
+    cum: OccTotals,
+    base: OccTotals,
+}
+
+impl ProfileCollector {
+    /// A collector for `num_sms` SMs with a per-PC table bound of
+    /// `pc_capacity` entries.
+    #[must_use]
+    pub fn new(num_sms: usize, pc_capacity: usize) -> Self {
+        ProfileCollector {
+            sms: vec![SmProfile::default(); num_sms.max(1)],
+            pcs: HashMap::new(),
+            pc_capacity: pc_capacity.max(1),
+            overflow_events: 0,
+            series: IntervalSeries::new(
+                PROFILE_SERIES_COLUMNS
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            ),
+            cum: OccTotals::default(),
+            base: OccTotals::default(),
+        }
+    }
+
+    fn pc_entry(&mut self, pc: u32) -> &mut PcCounters {
+        if self.pcs.len() >= self.pc_capacity && !self.pcs.contains_key(&pc) {
+            self.overflow_events += 1;
+            return self.pcs.entry(PC_OVERFLOW).or_default();
+        }
+        self.pcs.entry(pc).or_default()
+    }
+
+    /// Folds one SM's cycle scratch, covering `dt` clock ticks, into the
+    /// collector. Issued slots always occur in `dt == 1` cycles (the
+    /// driver only fast-forwards when nothing issued anywhere), so only
+    /// stall attribution is scaled.
+    pub fn commit(&mut self, sm: usize, dt: u64, cp: &CycleProfile) {
+        let idx = sm.min(self.sms.len().saturating_sub(1));
+        let s = &mut self.sms[idx];
+        let width =
+            u64::from(cp.issued) + cp.slot_stalls.iter().map(|&c| u64::from(c)).sum::<u64>();
+        s.cycles += dt;
+        s.slots += width * dt;
+        s.issued += u64::from(cp.issued);
+        // Issued slots cover one tick; the remaining (dt - 1) ticks of a
+        // fast-forwarded interval are, by construction, full-width stalls
+        // already reflected in slot_stalls (nothing can issue until the
+        // wake point), so scaling them by dt keeps the identity exact:
+        // issued + Σ stalls == width·dt  requires the issued slots' share
+        // of the extra ticks to be re-charged to their stall reasons.
+        // Since issued > 0 forces dt == 1, both cases collapse to simple
+        // scaling.
+        for (acc, &c) in s.stalls.iter_mut().zip(cp.slot_stalls.iter()) {
+            *acc += u64::from(c) * dt;
+        }
+        s.fetch_oob += u64::from(cp.fetch_oob);
+
+        for &pc in &cp.pc_issued {
+            self.pc_entry(pc).issued += 1;
+        }
+        for &(pc, reason) in &cp.pc_stalls {
+            self.pc_entry(pc).stalls[reason.index()] += dt;
+        }
+
+        self.cum.warp_cycles += u64::from(cp.active_warps) * dt;
+        self.cum.eligible_cycles += u64::from(cp.eligible_warps) * dt;
+        self.cum.issued_slots += u64::from(cp.issued);
+        self.cum.total_slots += width * dt;
+    }
+
+    /// Takes an interval snapshot at `cycle` (deltas since the previous
+    /// snapshot). Driven by [`Telemetry::advance`] at the same boundaries
+    /// as the main metric series.
+    pub fn snapshot(&mut self, cycle: u64) {
+        self.series.push(
+            cycle,
+            vec![
+                (self.cum.warp_cycles - self.base.warp_cycles) as f64,
+                (self.cum.eligible_cycles - self.base.eligible_cycles) as f64,
+                (self.cum.issued_slots - self.base.issued_slots) as f64,
+                (self.cum.total_slots - self.base.total_slots) as f64,
+            ],
+        );
+        self.base = self.cum;
+    }
+
+    /// Folds a per-SM child collector (observing only SM `sm`) into this
+    /// one: SM profiles land at index `sm`, per-PC tables and occupancy
+    /// totals sum, interval rows merge pointwise. Pure integer sums make
+    /// the merge order-independent and bit-identical to serial
+    /// collection (as long as the per-PC bound is not hit).
+    pub fn absorb(&mut self, other: &ProfileCollector, sm: usize) {
+        let idx = sm.min(self.sms.len().saturating_sub(1));
+        for o in &other.sms {
+            self.sms[idx].merge(o);
+        }
+        let mut pcs: Vec<(u32, PcCounters)> = other.pcs.iter().map(|(&pc, &c)| (pc, c)).collect();
+        pcs.sort_by_key(|(pc, _)| *pc);
+        for (pc, c) in pcs {
+            self.pc_entry(pc).merge(&c);
+        }
+        self.overflow_events += other.overflow_events;
+        self.series.merge_sum(&other.series);
+        self.cum.add(&other.cum);
+        self.base.add(&other.base);
+    }
+
+    /// Per-SM issue-slot profiles, SM-index order.
+    #[must_use]
+    pub fn sms(&self) -> &[SmProfile] {
+        &self.sms
+    }
+
+    /// The per-PC hotspot table, sorted by PC (the [`PC_OVERFLOW`]
+    /// sentinel, if present, sorts last).
+    #[must_use]
+    pub fn pcs_sorted(&self) -> Vec<(u32, PcCounters)> {
+        let mut v: Vec<(u32, PcCounters)> = self.pcs.iter().map(|(&pc, &c)| (pc, c)).collect();
+        v.sort_by_key(|(pc, _)| *pc);
+        v
+    }
+
+    /// Hotspot events that landed in the overflow bucket because the
+    /// per-PC table bound was reached.
+    #[must_use]
+    pub fn overflow_events(&self) -> u64 {
+        self.overflow_events
+    }
+
+    /// The occupancy interval series (columns:
+    /// [`PROFILE_SERIES_COLUMNS`]).
+    #[must_use]
+    pub fn series(&self) -> &IntervalSeries {
+        &self.series
+    }
+
+    /// Device-wide totals: summed SM profiles.
+    #[must_use]
+    pub fn total(&self) -> SmProfile {
+        let mut t = SmProfile::default();
+        for s in &self.sms {
+            t.merge(s);
+        }
+        // `cycles` is per-SM wall clock, not additive across SMs.
+        t.cycles = self.sms.iter().map(|s| s.cycles).max().unwrap_or(0);
+        t
+    }
+}
+
+/// One per-PC row of a captured [`KernelProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcRow {
+    /// Program counter.
+    pub pc: u32,
+    /// Disassembled instruction at this PC (when a program was supplied
+    /// at capture; the [`PC_OVERFLOW`] bucket has none).
+    pub label: Option<String>,
+    /// Issue slots spent at this PC.
+    pub issued: u64,
+    /// Warp-cycles stalled at this PC per reason.
+    pub stalls: [u64; NUM_STALL_REASONS],
+    /// Speculative-adder warp operations at this PC.
+    pub adder_ops: u64,
+    /// Mispredicted adder warp operations at this PC.
+    pub mispredicts: u64,
+}
+
+impl PcRow {
+    /// Adder prediction accuracy at this PC (1.0 when no adder ops).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.adder_ops == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.adder_ops as f64
+        }
+    }
+
+    /// Total stalled warp-cycles at this PC.
+    #[must_use]
+    pub fn stalled(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+/// One occupancy-timeline interval of a captured [`KernelProfile`] (raw
+/// extensive sums over the interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccPoint {
+    /// Cycle at the end of the interval.
+    pub cycle: u64,
+    /// Σ resident warps × cycles over the interval.
+    pub warp_cycles: u64,
+    /// Σ issue-ready warps × cycles over the interval.
+    pub eligible_cycles: u64,
+    /// Issue slots that issued during the interval.
+    pub issued_slots: u64,
+    /// Issue slots owned during the interval.
+    pub total_slots: u64,
+}
+
+/// A portable per-kernel profile snapshot: the nvprof-style report data,
+/// exportable to JSON and parseable back losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel (or run) label.
+    pub kernel: String,
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Per-SM issue-slot accounting, SM-index order.
+    pub sms: Vec<SmProfile>,
+    /// Per-PC hotspot rows, PC order.
+    pub pcs: Vec<PcRow>,
+    /// Occupancy timeline, interval order.
+    pub occupancy: Vec<OccPoint>,
+}
+
+impl KernelProfile {
+    /// Captures a profile from a finalized [`Telemetry`]. Pass the
+    /// program to label hotspot PCs with their disassembly.
+    #[must_use]
+    pub fn capture(tele: &Telemetry, kernel: &str, program: Option<&st2_isa::Program>) -> Self {
+        let collector = tele.profile();
+        let adder_pcs: HashMap<u32, (u64, u64)> = tele
+            .pc_accuracy()
+            .into_iter()
+            .map(|(pc, ops, mis)| (pc, (ops, mis)))
+            .collect();
+        let pcs = collector
+            .pcs_sorted()
+            .into_iter()
+            .map(|(pc, c)| {
+                let (adder_ops, mispredicts) = adder_pcs.get(&pc).copied().unwrap_or((0, 0));
+                let label = if pc == PC_OVERFLOW {
+                    None
+                } else {
+                    program
+                        .and_then(|p| p.fetch(pc))
+                        .map(st2_isa::disasm::disasm_inst)
+                };
+                PcRow {
+                    pc,
+                    label,
+                    issued: c.issued,
+                    stalls: c.stalls,
+                    adder_ops,
+                    mispredicts,
+                }
+            })
+            .collect();
+        let occupancy = collector
+            .series()
+            .points()
+            .iter()
+            .map(|p| OccPoint {
+                cycle: p.cycle,
+                warp_cycles: p.values[0] as u64,
+                eligible_cycles: p.values[1] as u64,
+                issued_slots: p.values[2] as u64,
+                total_slots: p.values[3] as u64,
+            })
+            .collect();
+        KernelProfile {
+            kernel: kernel.to_string(),
+            cycles: tele.cycles(),
+            warp_instructions: tele
+                .registry()
+                .counter_by_name("sched.warp_instructions")
+                .unwrap_or(0),
+            sms: collector.sms().to_vec(),
+            pcs,
+            occupancy,
+        }
+    }
+
+    /// Device-wide slot totals (summed SM profiles; `cycles` is the max).
+    #[must_use]
+    pub fn total(&self) -> SmProfile {
+        let mut t = SmProfile::default();
+        for s in &self.sms {
+            t.merge(s);
+        }
+        t.cycles = self.sms.iter().map(|s| s.cycles).max().unwrap_or(0);
+        t
+    }
+
+    /// Whether every SM's slot accounting reconciles exactly
+    /// (`issued + Σ stalls == slots` and `slots == cycles × width` are
+    /// both the caller's to check; this covers the first).
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.sms.iter().all(|s| s.unattributed() == 0)
+    }
+
+    /// Serialises the profile as a single JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.field_u64("schema", 1);
+        w.field_str("kernel", &self.kernel);
+        w.field_u64("cycles", self.cycles);
+        w.field_u64("warp_instructions", self.warp_instructions);
+        w.key("sms");
+        w.begin_array();
+        for (i, s) in self.sms.iter().enumerate() {
+            w.begin_object();
+            w.field_u64("sm", i as u64);
+            w.field_u64("cycles", s.cycles);
+            w.field_u64("slots", s.slots);
+            w.field_u64("issued", s.issued);
+            w.field_u64("fetch_oob", s.fetch_oob);
+            w.key("stalls");
+            write_stalls(&mut w, &s.stalls);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("pcs");
+        w.begin_array();
+        for r in &self.pcs {
+            w.begin_object();
+            w.field_u64("pc", u64::from(r.pc));
+            if let Some(label) = &r.label {
+                w.field_str("label", label);
+            }
+            w.field_u64("issued", r.issued);
+            w.field_u64("adder_ops", r.adder_ops);
+            w.field_u64("mispredicts", r.mispredicts);
+            w.key("stalls");
+            write_stalls(&mut w, &r.stalls);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("occupancy");
+        w.begin_array();
+        for p in &self.occupancy {
+            w.begin_object();
+            w.field_u64("cycle", p.cycle);
+            w.field_u64("warp_cycles", p.warp_cycles);
+            w.field_u64("eligible_cycles", p.eligible_cycles);
+            w.field_u64("issued_slots", p.issued_slots);
+            w.field_u64("total_slots", p.total_slots);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a profile back from [`KernelProfile::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON or misses
+    /// required fields.
+    pub fn from_json(text: &str) -> Result<KernelProfile, String> {
+        let v = json::parse(text)?;
+        let u = |v: &Value, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let stalls = |v: &Value| -> Result<[u64; NUM_STALL_REASONS], String> {
+            let obj = v.get("stalls").ok_or("missing stalls object")?;
+            let mut out = [0u64; NUM_STALL_REASONS];
+            for r in ALL_STALL_REASONS {
+                if let Some(n) = obj.get(r.name()).and_then(Value::as_f64) {
+                    out[r.index()] = n as u64;
+                }
+            }
+            Ok(out)
+        };
+        let mut sms = Vec::new();
+        for s in v
+            .get("sms")
+            .and_then(Value::as_array)
+            .ok_or("missing sms array")?
+        {
+            sms.push(SmProfile {
+                cycles: u(s, "cycles")?,
+                slots: u(s, "slots")?,
+                issued: u(s, "issued")?,
+                stalls: stalls(s)?,
+                fetch_oob: u(s, "fetch_oob")?,
+            });
+        }
+        let mut pcs = Vec::new();
+        for p in v
+            .get("pcs")
+            .and_then(Value::as_array)
+            .ok_or("missing pcs array")?
+        {
+            pcs.push(PcRow {
+                pc: u(p, "pc")? as u32,
+                label: p
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .map(ToString::to_string),
+                issued: u(p, "issued")?,
+                stalls: stalls(p)?,
+                adder_ops: u(p, "adder_ops")?,
+                mispredicts: u(p, "mispredicts")?,
+            });
+        }
+        let mut occupancy = Vec::new();
+        for p in v
+            .get("occupancy")
+            .and_then(Value::as_array)
+            .ok_or("missing occupancy array")?
+        {
+            occupancy.push(OccPoint {
+                cycle: u(p, "cycle")?,
+                warp_cycles: u(p, "warp_cycles")?,
+                eligible_cycles: u(p, "eligible_cycles")?,
+                issued_slots: u(p, "issued_slots")?,
+                total_slots: u(p, "total_slots")?,
+            });
+        }
+        Ok(KernelProfile {
+            kernel: v
+                .get("kernel")
+                .and_then(Value::as_str)
+                .ok_or("missing kernel")?
+                .to_string(),
+            cycles: u(&v, "cycles")?,
+            warp_instructions: u(&v, "warp_instructions")?,
+            sms,
+            pcs,
+            occupancy,
+        })
+    }
+
+    /// Renders the nvprof-style text report: totals, the stall-reason
+    /// percentage bars, an occupancy summary, and the top-`top_n` hot
+    /// PCs with their source-DSL labels.
+    #[must_use]
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        let t = self.total();
+        let _ = writeln!(out, "== kernel profile: {} ==", self.kernel);
+        let _ = writeln!(out, "{:-<70}", "");
+        let ipc = self.warp_instructions as f64 / self.cycles.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "cycles {}   warp instructions {}   IPC {ipc:.3}",
+            self.cycles, self.warp_instructions
+        );
+        let util = 100.0 * t.issued as f64 / t.slots.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "issue slots {} across {} SMs   issued {} ({util:.1}% utilised)",
+            t.slots,
+            self.sms.len(),
+            t.issued
+        );
+        if t.fetch_oob > 0 {
+            let _ = writeln!(out, "WARNING: {} out-of-range fetches masked", t.fetch_oob);
+        }
+
+        // Occupancy summary from the timeline totals.
+        let (mut wc, mut ec, mut is, mut ts) = (0u64, 0u64, 0u64, 0u64);
+        for p in &self.occupancy {
+            wc += p.warp_cycles;
+            ec += p.eligible_cycles;
+            is += p.issued_slots;
+            ts += p.total_slots;
+        }
+        if self.cycles > 0 && ts > 0 {
+            let _ = writeln!(
+                out,
+                "occupancy: avg active warps {:.2}, eligible {:.2}, issue-slot util {:.1}%",
+                wc as f64 / self.cycles as f64,
+                ec as f64 / self.cycles as f64,
+                100.0 * is as f64 / ts as f64,
+            );
+        }
+
+        let _ = writeln!(out, "stall breakdown (% of {} issue slots):", t.slots);
+        let mut rows: Vec<(&'static str, u64)> = vec![("issued", t.issued)];
+        for r in ALL_STALL_REASONS {
+            rows.push((r.name(), t.stalls[r.index()]));
+        }
+        let peak = rows.iter().map(|&(_, v)| v).max().unwrap_or(1).max(1);
+        for (name, v) in rows.into_iter().filter(|&(_, v)| v > 0) {
+            let frac = v as f64 / t.slots.max(1) as f64;
+            let bar = "#".repeat(((v * 30).div_ceil(peak)) as usize);
+            let _ = writeln!(out, "  {name:<13} {bar:<30} {:5.1}%", 100.0 * frac);
+        }
+
+        // Hot PCs ranked by occupied slots (issued + stalled-at).
+        let mut hot: Vec<&PcRow> = self.pcs.iter().collect();
+        hot.sort_by_key(|r| std::cmp::Reverse((r.issued + r.stalled(), r.pc)));
+        let shown = hot.len().min(top_n);
+        if shown > 0 {
+            let _ = writeln!(out, "hot PCs (top {shown} of {}):", hot.len());
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>10} {:>10} {:<13} {:>9}  inst",
+                "pc", "issued", "stalled", "top-stall", "adder-acc"
+            );
+            for r in hot.iter().take(top_n) {
+                let top_stall = ALL_STALL_REASONS
+                    .iter()
+                    .copied()
+                    .max_by_key(|s| (r.stalls[s.index()], std::cmp::Reverse(s.index())))
+                    .filter(|s| r.stalls[s.index()] > 0)
+                    .map_or("-", StallReason::name);
+                let acc = if r.adder_ops == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.4}", r.accuracy())
+                };
+                let pc = if r.pc == PC_OVERFLOW {
+                    "OVF".to_string()
+                } else {
+                    r.pc.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {pc:>5} {:>10} {:>10} {:<13} {acc:>9}  {}",
+                    r.issued,
+                    r.stalled(),
+                    top_stall,
+                    r.label.as_deref().unwrap_or(""),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn write_stalls(w: &mut Writer, stalls: &[u64; NUM_STALL_REASONS]) {
+    w.begin_object();
+    for r in ALL_STALL_REASONS {
+        if stalls[r.index()] > 0 {
+            w.field_u64(r.name(), stalls[r.index()]);
+        }
+    }
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_indices_round_trip() {
+        for (i, r) in ALL_STALL_REASONS.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(StallReason::from_index(i), Some(r));
+            assert_eq!(StallReason::from_name(r.name()), Some(r));
+        }
+        assert_eq!(StallReason::from_index(NUM_STALL_REASONS), None);
+        assert_eq!(StallReason::from_name("bogus"), None);
+        // Pipe mapping matches the simulator's dense pool indices.
+        assert_eq!(StallReason::pipe(0), StallReason::PipeAlu);
+        assert_eq!(StallReason::pipe(5), StallReason::PipeLdst);
+    }
+
+    fn cycle(issued: u32, stalls: &[(StallReason, u32)], active: u32) -> CycleProfile {
+        let mut cp = CycleProfile {
+            issued,
+            active_warps: active,
+            eligible_warps: issued,
+            ..CycleProfile::default()
+        };
+        for &(r, n) in stalls {
+            cp.slot_stalls[r.index()] += n;
+            for _ in 0..n {
+                cp.pc_stalls.push((7, r));
+            }
+        }
+        for i in 0..issued {
+            cp.pc_issued.push(i);
+        }
+        cp
+    }
+
+    #[test]
+    fn commit_keeps_slot_identity() {
+        let mut c = ProfileCollector::new(2, 64);
+        c.commit(0, 1, &cycle(3, &[(StallReason::Scoreboard, 1)], 5));
+        c.commit(0, 4, &cycle(0, &[(StallReason::MemPending, 4)], 5));
+        c.commit(1, 1, &cycle(0, &[(StallReason::NoBlock, 4)], 0));
+        let s0 = c.sms()[0];
+        assert_eq!(s0.cycles, 5);
+        assert_eq!(s0.slots, 4 + 16);
+        assert_eq!(s0.issued, 3);
+        assert_eq!(s0.stalls[StallReason::Scoreboard.index()], 1);
+        assert_eq!(s0.stalls[StallReason::MemPending.index()], 16);
+        assert_eq!(s0.unattributed(), 0);
+        assert_eq!(c.sms()[1].stalls[StallReason::NoBlock.index()], 4);
+        assert_eq!(c.sms()[1].unattributed(), 0);
+        // Per-PC stalls scale with dt.
+        let pcs = c.pcs_sorted();
+        let at7 = pcs.iter().find(|(pc, _)| *pc == 7).unwrap().1;
+        assert_eq!(at7.stalled(), 1 + 16 + 4);
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let make = |sm: usize, seed: u32| {
+            let mut c = ProfileCollector::new(1, 64);
+            c.commit(
+                0,
+                1 + u64::from(seed % 3),
+                &cycle(
+                    seed % 2,
+                    &[
+                        (StallReason::Scoreboard, seed % 4),
+                        (StallReason::Barrier, 1),
+                    ],
+                    4,
+                ),
+            );
+            c.snapshot(1024);
+            (sm, c)
+        };
+        let children = [make(0, 1), make(1, 2), make(2, 5), make(3, 9)];
+        let mut fwd = ProfileCollector::new(4, 64);
+        for (sm, c) in &children {
+            fwd.absorb(c, *sm);
+        }
+        let mut rev = ProfileCollector::new(4, 64);
+        for (sm, c) in children.iter().rev() {
+            rev.absorb(c, *sm);
+        }
+        assert_eq!(fwd.sms(), rev.sms());
+        assert_eq!(fwd.pcs_sorted(), rev.pcs_sorted());
+        assert_eq!(fwd.series().points(), rev.series().points());
+    }
+
+    #[test]
+    fn pc_table_is_bounded() {
+        let mut c = ProfileCollector::new(1, 4);
+        let mut cp = CycleProfile::default();
+        for pc in 0..10u32 {
+            cp.pc_issued.push(pc);
+        }
+        c.commit(0, 1, &cp);
+        assert!(c.pcs_sorted().len() <= 5, "4 entries + overflow bucket");
+        assert!(c.overflow_events() > 0);
+        let total: u64 = c.pcs_sorted().iter().map(|(_, c)| c.issued).sum();
+        assert_eq!(total, 10, "overflow keeps totals exact");
+    }
+
+    #[test]
+    fn profile_json_round_trips_losslessly() {
+        let profile = KernelProfile {
+            kernel: "probe \"x\"".into(),
+            cycles: 1234,
+            warp_instructions: 567,
+            sms: vec![
+                SmProfile {
+                    cycles: 1234,
+                    slots: 4936,
+                    issued: 567,
+                    stalls: {
+                        let mut s = [0; NUM_STALL_REASONS];
+                        s[StallReason::Scoreboard.index()] = 4000;
+                        s[StallReason::NoWarp.index()] = 369;
+                        s
+                    },
+                    fetch_oob: 0,
+                },
+                SmProfile::default(),
+            ],
+            pcs: vec![
+                PcRow {
+                    pc: 3,
+                    label: Some("add.i64   r1, r2, r3".into()),
+                    issued: 200,
+                    stalls: {
+                        let mut s = [0; NUM_STALL_REASONS];
+                        s[StallReason::AdderRepair.index()] = 17;
+                        s
+                    },
+                    adder_ops: 200,
+                    mispredicts: 17,
+                },
+                PcRow {
+                    pc: PC_OVERFLOW,
+                    label: None,
+                    issued: 9,
+                    stalls: [0; NUM_STALL_REASONS],
+                    adder_ops: 0,
+                    mispredicts: 0,
+                },
+            ],
+            occupancy: vec![OccPoint {
+                cycle: 1024,
+                warp_cycles: 4096,
+                eligible_cycles: 900,
+                issued_slots: 500,
+                total_slots: 4096,
+            }],
+        };
+        let text = profile.to_json();
+        let back = KernelProfile::from_json(&text).expect("parses back");
+        assert_eq!(back, profile);
+        assert!(profile.reconciles());
+        assert!((profile.pcs[0].accuracy() - (1.0 - 17.0 / 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_key_sections() {
+        let mut c = ProfileCollector::new(1, 64);
+        c.commit(
+            0,
+            1,
+            &cycle(
+                2,
+                &[(StallReason::Scoreboard, 1), (StallReason::NoWarp, 1)],
+                3,
+            ),
+        );
+        c.snapshot(1);
+        let profile = KernelProfile {
+            kernel: "probe".into(),
+            cycles: 1,
+            warp_instructions: 2,
+            sms: c.sms().to_vec(),
+            pcs: c
+                .pcs_sorted()
+                .into_iter()
+                .map(|(pc, pcc)| PcRow {
+                    pc,
+                    label: Some("add.i64   r0, r0, 1".into()),
+                    issued: pcc.issued,
+                    stalls: pcc.stalls,
+                    adder_ops: 0,
+                    mispredicts: 0,
+                })
+                .collect(),
+            occupancy: vec![OccPoint {
+                cycle: 1,
+                warp_cycles: 3,
+                eligible_cycles: 2,
+                issued_slots: 2,
+                total_slots: 4,
+            }],
+        };
+        let text = profile.render(5);
+        for needle in [
+            "kernel profile: probe",
+            "stall breakdown",
+            "scoreboard",
+            "occupancy",
+            "hot PCs",
+            "add.i64",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -63,6 +63,55 @@ fn parallel_timed_runs_are_bit_identical_to_serial() {
 }
 
 #[test]
+fn parallel_profiles_are_bit_identical_to_serial() {
+    for name in KERNELS {
+        let spec = spec_by_name(name);
+        for cfg in [GpuConfig::scaled(4), GpuConfig::scaled(4).with_st2()] {
+            let observe = |threads: u32| {
+                let mut mem = spec.memory.clone();
+                let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
+                let out = run_timed_with(
+                    &spec.program,
+                    spec.launch,
+                    &mut mem,
+                    &cfg.with_sim_threads(threads),
+                    RunOptions::with_telemetry(&mut tele),
+                );
+                (
+                    out,
+                    KernelProfile::capture(&tele, name, Some(&spec.program)),
+                )
+            };
+            let (out1, serial) = observe(1);
+            // Suite programs never run off the end of their instruction
+            // stream; a nonzero count means a control-flow bug.
+            debug_assert!(
+                serial.total().fetch_oob == 0,
+                "{name}: out-of-range fetches detected"
+            );
+            assert!(serial.reconciles(), "{name}: serial profile unbalanced");
+            for sm in &serial.sms {
+                assert_eq!(
+                    sm.slots,
+                    out1.cycles * u64::from(cfg.issue_width),
+                    "{name}: slot accounting diverged from cycles x issue_width"
+                );
+            }
+            for threads in [2u32, 4] {
+                let (_, parallel) = observe(threads);
+                // Per-PC hotspot tables, per-SM stall-reason counters and
+                // the occupancy timeline all merge with pure integer
+                // sums, so the whole profile is bit-identical.
+                assert_eq!(
+                    serial, parallel,
+                    "{name}: profile diverges at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_telemetry_matches_serial_aggregates() {
     for name in KERNELS {
         let spec = spec_by_name(name);
