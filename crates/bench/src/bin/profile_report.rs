@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release --bin profile_report -- \
 //!     [--scale test|tiny|full] [--kernels <substring>] \
-//!     [--sim-threads <n>] [--out <dir>]
+//!     [--sim-threads <n>] [--out <dir>] \
+//!     [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>]
 //! ```
 //!
 //! With `--out`, each kernel's profile is also written as
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
     let args = BenchArgs::parse();
     if !args.rest.is_empty() {
         eprintln!("unexpected arguments: {:?}", args.rest);
-        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>]");
+        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>] [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>]");
         return ExitCode::FAILURE;
     }
     let cfg = args.gpu().with_st2();
@@ -103,6 +104,24 @@ fn main() -> ExitCode {
             100.0 * t.issued as f64 / t.slots.max(1) as f64,
             top,
             t.fetch_oob,
+        );
+    }
+
+    header("memory boundedness");
+    println!(
+        "{:<14} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "kernel", "transactions", "L1-hit%", "merges", "dram", "throttled"
+    );
+    for p in &profiles {
+        let t = p.total();
+        println!(
+            "{:<14} {:>12} {:>8.1} {:>10} {:>10} {:>10}",
+            p.kernel,
+            p.mem.l1_accesses,
+            100.0 * p.mem.l1_hit_rate(),
+            p.mem.mshr_merges,
+            p.mem.dram_accesses,
+            t.stalls[StallReason::MemThrottle.index()],
         );
     }
 

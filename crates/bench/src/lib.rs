@@ -24,6 +24,9 @@ use st2::sim::ActivityCounters;
 /// * `--sim-threads <n>` — worker threads per timed run
 ///   ([`GpuConfig::sim_threads`]; `0` = auto, default leaves the config
 ///   untouched)
+/// * `--mshr-entries <n>` / `--l2-bw <n>` / `--dram-bw <n>` — memory
+///   subsystem overrides for boundedness studies (defaults leave the
+///   config untouched; see [`GpuConfig::with_mshr_entries`] etc.)
 ///
 /// Unrecognised tokens land in [`BenchArgs::rest`] for binaries with
 /// positional arguments (e.g. `trace_report <kernel> [out_dir]`).
@@ -37,6 +40,12 @@ pub struct BenchArgs {
     pub kernels: Option<String>,
     /// Simulation worker threads (`--sim-threads`).
     pub sim_threads: Option<u32>,
+    /// Per-SM MSHR file capacity override (`--mshr-entries`).
+    pub mshr_entries: Option<u32>,
+    /// L2 requests-per-cycle override (`--l2-bw`).
+    pub l2_bw: Option<u32>,
+    /// DRAM requests-per-cycle override (`--dram-bw`).
+    pub dram_bw: Option<u32>,
     /// Everything not consumed by a flag, in order.
     pub rest: Vec<String>,
 }
@@ -85,6 +94,17 @@ impl BenchArgs {
                             panic!("--sim-threads must be an integer, got {v:?}")
                         }));
                 }
+                "--mshr-entries" | "--l2-bw" | "--dram-bw" => {
+                    let v = value(&tok);
+                    let n = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{tok} must be an integer, got {v:?}"));
+                    match tok.as_str() {
+                        "--mshr-entries" => args.mshr_entries = Some(n),
+                        "--l2-bw" => args.l2_bw = Some(n),
+                        _ => args.dram_bw = Some(n),
+                    }
+                }
                 _ => args.rest.push(tok),
             }
         }
@@ -97,13 +117,24 @@ impl BenchArgs {
         self.kernels.as_deref().is_none_or(|f| name.contains(f))
     }
 
-    /// The harness GPU with any `--sim-threads` override applied.
+    /// The harness GPU with any `--sim-threads` and memory-subsystem
+    /// overrides applied.
     #[must_use]
     pub fn gpu(&self) -> GpuConfig {
-        match self.sim_threads {
-            Some(t) => harness_gpu().with_sim_threads(t),
-            None => harness_gpu(),
+        let mut cfg = harness_gpu();
+        if let Some(t) = self.sim_threads {
+            cfg = cfg.with_sim_threads(t);
         }
+        if let Some(n) = self.mshr_entries {
+            cfg = cfg.with_mshr_entries(n);
+        }
+        if let Some(n) = self.l2_bw {
+            cfg = cfg.with_l2_bw(n);
+        }
+        if let Some(n) = self.dram_bw {
+            cfg = cfg.with_dram_bw(n);
+        }
+        cfg
     }
 }
 
@@ -318,6 +349,12 @@ mod tests {
             "path",
             "--sim-threads",
             "2",
+            "--mshr-entries",
+            "4",
+            "--l2-bw",
+            "3",
+            "--dram-bw",
+            "1",
         ];
         let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
         assert_eq!(args.scale, Scale::Test);
@@ -325,7 +362,11 @@ mod tests {
         assert_eq!(args.kernels.as_deref(), Some("path"));
         assert_eq!(args.sim_threads, Some(2));
         assert!(args.rest.is_empty());
-        assert_eq!(args.gpu().sim_threads, 2);
+        let gpu = args.gpu();
+        assert_eq!(gpu.sim_threads, 2);
+        assert_eq!(gpu.mshr_entries, 4);
+        assert_eq!(gpu.l2_bw, 3);
+        assert_eq!(gpu.dram_bw, 1);
         assert!(args.matches("pathfinder"));
         assert!(!args.matches("histogram"));
     }
@@ -336,7 +377,13 @@ mod tests {
         let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
         assert_eq!(args.scale, Scale::Full);
         assert!(args.out.is_none() && args.kernels.is_none() && args.sim_threads.is_none());
+        assert!(args.mshr_entries.is_none() && args.l2_bw.is_none() && args.dram_bw.is_none());
         assert_eq!(args.rest, vec!["pathfinder", "out_dir"]);
+        assert_eq!(
+            args.gpu(),
+            harness_gpu(),
+            "no overrides leaves the config untouched"
+        );
         assert!(args.matches("anything"));
     }
 

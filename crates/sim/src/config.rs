@@ -78,6 +78,18 @@ pub struct GpuConfig {
     /// DRAM latency.
     pub dram_latency: u32,
 
+    /// Miss-status holding registers per SM: distinct L1 line fills that
+    /// may be in flight concurrently. A full file back-pressures the
+    /// LDST pipe (`StallReason::MemThrottle`). Volta L1s track 64
+    /// outstanding lines.
+    pub mshr_entries: u32,
+    /// Coalesced requests the L2 accepts per cycle, chip-wide. Excess
+    /// requests queue FIFO into later cycles.
+    pub l2_bw: u32,
+    /// Line fills DRAM services per cycle, chip-wide (an abstraction of
+    /// the HBM2 channel count over the core clock).
+    pub dram_bw: u32,
+
     /// Core clock (GHz) — converts cycles to seconds for power.
     pub clock_ghz: f64,
 
@@ -127,6 +139,9 @@ impl GpuConfig {
             l2_assoc: 16,
             l2_latency: 190,
             dram_latency: 420,
+            mshr_entries: 64,
+            l2_bw: 16,
+            dram_bw: 6,
             clock_ghz: 1.2,
             scheduler: SchedulerKind::Gto,
             speculation: None,
@@ -135,13 +150,19 @@ impl GpuConfig {
     }
 
     /// A scaled-down simulation target (`sms` SMs, same per-SM shape,
-    /// proportional L2).
+    /// proportional L2 capacity and L2/DRAM bandwidth). Bandwidth floors
+    /// keep small configurations latency-dominated rather than
+    /// pathologically serialised, while still leaving headroom for
+    /// `with_dram_bw(1)`-style stress studies.
     #[must_use]
     pub fn scaled(sms: u32) -> Self {
         let full = Self::titan_v();
+        let sms = sms.max(1);
         GpuConfig {
-            num_sms: sms.max(1),
-            l2_bytes: (full.l2_bytes * u64::from(sms.max(1)) / 80).max(64 * 1024),
+            num_sms: sms,
+            l2_bytes: (full.l2_bytes * u64::from(sms) / 80).max(64 * 1024),
+            l2_bw: (full.l2_bw * sms / 80).max(4),
+            dram_bw: (full.dram_bw * sms / 80).max(2),
             ..full
         }
     }
@@ -180,6 +201,53 @@ impl GpuConfig {
     pub fn with_sim_threads(mut self, threads: u32) -> Self {
         self.sim_threads = threads;
         self
+    }
+
+    /// Sets the per-SM MSHR file size (clamped to at least 1). Small
+    /// values throttle memory-level parallelism.
+    #[must_use]
+    pub fn with_mshr_entries(mut self, entries: u32) -> Self {
+        self.mshr_entries = entries.max(1);
+        self
+    }
+
+    /// Sets the chip-wide L2 request bandwidth (requests per cycle,
+    /// clamped to at least 1).
+    #[must_use]
+    pub fn with_l2_bw(mut self, bw: u32) -> Self {
+        self.l2_bw = bw.max(1);
+        self
+    }
+
+    /// Sets the chip-wide DRAM fill bandwidth (fills per cycle, clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn with_dram_bw(mut self, bw: u32) -> Self {
+        self.dram_bw = bw.max(1);
+        self
+    }
+
+    /// Checks cross-field invariants the timed engine depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the L1 and L2 line sizes differ (the
+    /// hierarchy tags both levels at one granularity) or a line size is
+    /// not a positive power of two.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.l1_line != self.l2_line {
+            return Err(format!(
+                "l1_line ({}) must equal l2_line ({}): mixed-granularity tagging is unsupported",
+                self.l1_line, self.l2_line
+            ));
+        }
+        if self.l1_line == 0 || !self.l1_line.is_power_of_two() {
+            return Err(format!(
+                "cache line size must be a positive power of two, got {}",
+                self.l1_line
+            ));
+        }
+        Ok(())
     }
 
     /// Resolves [`GpuConfig::sim_threads`] to a concrete worker count:
@@ -241,6 +309,31 @@ mod tests {
                 .effective_sim_threads(),
             2
         );
+    }
+
+    #[test]
+    fn memory_knobs_scale_and_clamp() {
+        let full = GpuConfig::titan_v();
+        assert_eq!(full.mshr_entries, 64);
+        assert!(full.l2_bw >= full.dram_bw, "L2 ingests more than DRAM");
+        let small = GpuConfig::scaled(4);
+        assert!(small.l2_bw < full.l2_bw);
+        assert!(small.dram_bw >= 1);
+        assert_eq!(small.with_mshr_entries(0).mshr_entries, 1);
+        assert_eq!(small.with_l2_bw(0).l2_bw, 1);
+        assert_eq!(small.with_dram_bw(7).dram_bw, 7);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_lines() {
+        let mut c = GpuConfig::scaled(1);
+        assert!(c.validate().is_ok());
+        c.l2_line = 64;
+        assert!(c.validate().is_err());
+        c.l2_line = c.l1_line;
+        c.l1_line = 96;
+        c.l2_line = 96;
+        assert!(c.validate().is_err(), "non-power-of-two line rejected");
     }
 
     #[test]

@@ -143,6 +143,15 @@ impl SimtStack {
         self.pop_converged();
     }
 
+    /// Test-only: overwrite the top entry's active mask. The public API
+    /// never produces a live warp with an empty mask (branches don't push
+    /// empty paths and `exit_threads` drops emptied entries), so tests
+    /// that model a fully predicated-off warp construct one here.
+    #[cfg(test)]
+    pub(crate) fn force_mask(&mut self, mask: Mask) {
+        self.top_mut().mask = mask;
+    }
+
     fn pop_converged(&mut self) {
         while let Some(top) = self.entries.last() {
             if top.rpc != NO_RPC && top.pc == top.rpc {

@@ -208,6 +208,21 @@ fn inst_regs(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
     (reads, write)
 }
 
+/// Whether an instruction issues a global-memory transaction (the ops
+/// gated by MSHR availability; shared-memory ops never leave the SM).
+fn is_global_mem(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Ld {
+            space: Space::Global,
+            ..
+        } | Inst::St {
+            space: Space::Global,
+            ..
+        }
+    )
+}
+
 fn pool_of(inst: &Inst) -> Pool {
     match inst {
         Inst::Int {
@@ -280,6 +295,16 @@ pub struct SmCore {
     age_counter: u64,
     act: ActivityCounters,
     pending: Vec<PendingAccess>,
+    /// Mirror of this SM's free MSHR entries, refreshed by
+    /// [`SmCore::drain_memory`] each cycle (so the issue stage can gate
+    /// global LD/ST without reading shared hierarchy state mid-step).
+    /// Stale by at most the accesses issued since the last drain, which
+    /// the per-issue decrement below accounts for.
+    mem_credit: u32,
+    /// Earliest in-flight fill time while the MSHR file is full
+    /// (`u64::MAX` otherwise): the wake hint for `MemThrottle`-stalled
+    /// warps.
+    mem_wake: u64,
     /// Per-cycle profiling scratch, flushed by [`SmCore::commit_profile`]
     /// once the driver knows the cycle's global length.
     cycle_profile: CycleProfile,
@@ -311,6 +336,8 @@ impl SmCore {
             age_counter: 0,
             act: ActivityCounters::default(),
             pending: Vec::new(),
+            mem_credit: cfg.mshr_entries.max(1),
+            mem_wake: u64::MAX,
             cycle_profile: CycleProfile::default(),
             stall_scratch: Vec::new(),
         }
@@ -462,8 +489,12 @@ impl SmCore {
                         .copied()
                         .min()
                         .unwrap_or(u64::MAX);
+                    // Global LD/ST additionally needs a free MSHR
+                    // credit: with the file full the memory subsystem
+                    // back-pressures the LDST pipe until a fill retires.
+                    let throttled = self.mem_credit == 0 && is_global_mem(&inst);
                     let at = ready_at.max(pipe_free);
-                    if at <= now {
+                    if at <= now && !throttled {
                         (true, at, None, false)
                     } else if ready_at > now {
                         // Register dependency binds (checked before the
@@ -479,6 +510,8 @@ impl SmCore {
                         } else {
                             (false, at, Some(StallReason::Scoreboard), false)
                         }
+                    } else if throttled {
+                        (false, self.mem_wake, Some(StallReason::MemThrottle), false)
                     } else {
                         (false, at, Some(StallReason::pipe(pool.index())), false)
                     }
@@ -616,10 +649,12 @@ impl SmCore {
             }
 
             // Memory timing. Shared memory is SM-local and resolves
-            // inline; global transactions are queued on `iface` and their
-            // worst-case latency lands on the scoreboard at drain time.
+            // inline; global transactions are queued on `iface` and
+            // their worst-case completion time lands on the scoreboard
+            // at drain time. A fully predicated-off access (every lane
+            // masked) touches nothing and is not modeled at all.
             let mut deferred_load = false;
-            if let Some(m) = &info.mem {
+            if let Some(m) = info.mem.as_ref().filter(|m| !m.addrs.is_empty()) {
                 match m.space {
                     Space::Shared => {
                         let degree = u64::from(crate::memory::bank_conflict_degree(&m.addrs));
@@ -640,12 +675,19 @@ impl SmCore {
                             warp: wi,
                             dest: if m.store { None } else { write },
                         });
-                        interval = segs.len().max(1) as u64;
+                        interval = segs.len() as u64;
                         deferred_load = !m.store;
+                        // Each segment may allocate an MSHR entry at the
+                        // drain; spend credits now so one cycle cannot
+                        // oversubscribe the file (exact state is
+                        // re-mirrored at the drain).
+                        self.mem_credit = self.mem_credit.saturating_sub(segs.len() as u32);
                     }
                 }
                 if m.store {
-                    // Stores retire without blocking the warp.
+                    // Stores retire without blocking the warp (their
+                    // bandwidth and MSHR occupancy are still charged at
+                    // the drain — write-allocate).
                     latency = 0;
                 }
             }
@@ -726,8 +768,12 @@ impl SmCore {
 
     /// Replays this core's queued transactions (issued during
     /// [`SmCore::step_cycle`] at cycle `now`) against the shared
-    /// hierarchy, in issue order, and resolves parked scoreboard entries.
-    /// The driver calls this once per SM per cycle, in SM-index order.
+    /// hierarchy, in issue order, and resolves parked scoreboard entries
+    /// to the completion cycles the hierarchy computed (MSHR merges,
+    /// bandwidth queueing and throttle waits included). The driver calls
+    /// this once per SM per cycle, in SM-index order — the only place
+    /// shared memory-subsystem state is touched, which is what keeps
+    /// parallel runs bit-identical.
     pub fn drain_memory(
         &mut self,
         queue: &mut RequestQueue,
@@ -735,20 +781,33 @@ impl SmCore {
         now: u64,
         tele: &mut Telemetry,
     ) {
-        if self.pending.is_empty() && queue.is_empty() {
-            return;
-        }
-        let mut worst = vec![0u32; self.pending.len()];
-        for (token, addr) in queue.drain() {
-            let r = hier.access(self.index, addr, &mut self.act);
-            tele.mem_access(self.index, now, addr, r.latency, r.level());
-            worst[token as usize] = worst[token as usize].max(r.latency);
-        }
-        for (p, w) in self.pending.drain(..).zip(worst) {
-            if let Some(d) = p.dest {
-                self.warps[p.warp].reg_ready[usize::from(d.0)] = now + u64::from(w).max(1);
+        // Retire completed line fills first so this cycle's requests and
+        // the refreshed credit mirror both see the post-retirement file.
+        hier.retire_fills(self.index, now);
+        if !self.pending.is_empty() || !queue.is_empty() {
+            let mut worst = vec![now; self.pending.len()];
+            for (token, addr) in queue.drain() {
+                let r = hier.access(self.index, addr, now, &mut self.act);
+                tele.mem_access(self.index, now, addr, r.latency, r.level());
+                worst[token as usize] = worst[token as usize].max(r.ready_at);
+            }
+            for (p, w) in self.pending.drain(..).zip(worst) {
+                if let Some(d) = p.dest {
+                    self.warps[p.warp].reg_ready[usize::from(d.0)] = w.max(now + 1);
+                }
             }
         }
+        // Refresh the issue-gate mirror. It goes stale again as soon as
+        // warps issue next cycle, but staleness only delays the
+        // back-pressure by the accesses already credited above.
+        let (free, earliest) = hier.mshr_state(self.index);
+        if free == 0 {
+            // The file ends the cycle saturated: further global memory
+            // issue is gated until a fill retires.
+            self.act.mem_throttle += 1;
+        }
+        self.mem_credit = free;
+        self.mem_wake = earliest;
     }
 
     /// End-of-cycle bookkeeping: releases block barriers once every
@@ -806,6 +865,49 @@ mod tests {
         spec.row_writes[5] = 40;
         assert_ne!(spec.row_writes[5], u64::MAX);
         assert!(spec.row_writes[5] == 40);
+    }
+
+    #[test]
+    fn predicated_off_mem_ops_are_not_modeled() {
+        use st2_isa::KernelBuilder;
+        // One op of each kind in both address spaces.
+        let mut k = KernelBuilder::new("masked_mem");
+        let zero = k.reg();
+        k.mov(zero, Operand::Imm(0));
+        let ds = k.reg();
+        k.ld_shared_u64(ds, zero, 0);
+        k.st_shared_u64(Operand::Imm(1), zero, 0);
+        let dg = k.reg();
+        k.ld_global_u64(dg, zero, 0);
+        k.st_global_u64(Operand::Imm(1), zero, 0);
+        let p = k.finish();
+        let launch = LaunchConfig::new(1, 32);
+        let cfg = GpuConfig::scaled(1);
+        let mut core = SmCore::new(0, &cfg, 1);
+        assert!(core.admit_block(0, &p, launch));
+        // Empty the warp's SIMT mask: the warp still steps through every
+        // instruction, but with zero active lanes — the shape a fully
+        // predicated-off warp has. (`WarpCtx::new` clamps lanes to >= 1,
+        // and the public stack API never leaves a live entry empty, so
+        // the test forces the state directly.)
+        core.warps[0].ctx.stack.force_mask(0);
+        let mut g = MemImage::new(1024);
+        let mut q = RequestQueue::new();
+        let mut hier = MemoryHierarchy::new(&cfg);
+        let mut tele = Telemetry::disabled();
+        // An empty-mask warp never retires (`Exit` has no lanes to kill),
+        // so run a fixed window that covers all five instructions.
+        for now in 0..50u64 {
+            core.step_cycle(now, &p, launch, &mut g, &mut q, &mut tele);
+            assert!(q.is_empty(), "zero-lane op queued a transaction");
+            core.drain_memory(&mut q, &mut hier, now, &mut tele);
+            core.finish_cycle();
+        }
+        let act = core.activity();
+        assert_eq!(act.shared_accesses, 0, "phantom shared transaction");
+        assert_eq!(act.shared_bank_conflicts, 0);
+        assert_eq!(act.l1_accesses, 0, "phantom global transaction");
+        assert_eq!(act.mem_throttle, 0);
     }
 
     #[test]

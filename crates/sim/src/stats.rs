@@ -112,6 +112,14 @@ pub struct ActivityCounters {
     pub l2_misses: u64,
     /// DRAM accesses.
     pub dram_accesses: u64,
+    /// L1 misses merged into an already-in-flight MSHR line fill
+    /// (no new L2/DRAM traffic; not counted in `l1_misses`).
+    pub mshr_merges: u64,
+    /// Memory-side back-pressure events: SM-cycles that ended with the
+    /// MSHR file fully occupied (gating further global-memory issue),
+    /// plus transactions that arrived at a full file and had to wait for
+    /// an outstanding fill to retire before starting.
+    pub mem_throttle: u64,
     /// NoC flits moved (L1↔L2 traffic).
     pub noc_flits: u64,
     /// Shared-memory transactions (bank-conflicted accesses count once
@@ -159,6 +167,8 @@ impl ActivityCounters {
         self.l2_accesses += other.l2_accesses;
         self.l2_misses += other.l2_misses;
         self.dram_accesses += other.dram_accesses;
+        self.mshr_merges += other.mshr_merges;
+        self.mem_throttle += other.mem_throttle;
         self.noc_flits += other.noc_flits;
         self.shared_accesses += other.shared_accesses;
         self.shared_bank_conflicts += other.shared_bank_conflicts;
@@ -205,6 +215,8 @@ impl ActivityCounters {
         out.l2_accesses *= e;
         out.l2_misses *= e;
         out.dram_accesses *= e;
+        out.mshr_merges *= e;
+        out.mem_throttle *= e;
         out.noc_flits *= e;
         out.shared_accesses *= e;
         out.shared_bank_conflicts *= e;
@@ -306,6 +318,8 @@ mod tests {
             l2_accesses: 71 * e,
             l2_misses: 73 * e,
             dram_accesses: 79 * e,
+            mshr_merges: 197 * e,
+            mem_throttle: 199 * e,
             noc_flits: 83 * e,
             shared_accesses: 89 * e,
             shared_bank_conflicts: 97 * e,

@@ -24,7 +24,10 @@
 //! interval and producing its results after a latency. ST² mispredictions
 //! lengthen both by one cycle — the stall signal of the paper's Fig. 4 —
 //! which is exactly how the design's ~0.36 % average performance overhead
-//! arises.
+//! arises. Global-memory latency is not a constant: the drain phase runs
+//! every miss through per-SM MSHR files and finite L2/DRAM request
+//! bandwidth (see [`crate::memory`]), so loaded memory systems stretch
+//! completion times and a full MSHR file back-pressures the issue stage.
 
 use crate::config::GpuConfig;
 use crate::gmem::SharedGlobal;
@@ -115,7 +118,8 @@ pub fn run_timed_with_telemetry(
 ///
 /// # Panics
 ///
-/// Same conditions as [`run_timed`].
+/// Same conditions as [`run_timed`], plus an invalid [`GpuConfig`]
+/// (see [`GpuConfig::validate`]).
 pub fn run_timed_with(
     program: &Program,
     launch: LaunchConfig,
@@ -124,6 +128,7 @@ pub fn run_timed_with(
     opts: RunOptions<'_>,
 ) -> TimedOutput {
     program.validate().expect("invalid program");
+    cfg.validate().expect("invalid GPU configuration");
     let mut disabled = Telemetry::disabled();
     let tele = opts.telemetry.unwrap_or(&mut disabled);
     let threads = cfg.effective_sim_threads();
@@ -400,6 +405,74 @@ mod tests {
         let launch = LaunchConfig::new(8, 128);
         let g = MemImage::new(launch.total_threads() * 8);
         (p, launch, g)
+    }
+
+    /// A load-dominated kernel: every iteration pulls two fresh cache
+    /// lines per warp from a large strided footprint, so DRAM fills —
+    /// not ALU work — set the pace.
+    fn memory_kernel() -> (Program, LaunchConfig, MemImage) {
+        let mut k = KernelBuilder::new("mem_heavy");
+        let tid = k.special(Special::GlobalTid);
+        let base = k.reg();
+        k.imul(base, tid.into(), Operand::Imm(8));
+        let acc = k.reg();
+        k.mov(acc, Operand::Imm(0));
+        k.for_range(Operand::Imm(0), Operand::Imm(16), |k, i| {
+            let addr = k.reg();
+            k.imul(addr, i.into(), Operand::Imm(32 * 1024));
+            k.iadd(addr, addr.into(), base.into());
+            let v = k.reg();
+            k.ld_global_u64(v, addr, 0);
+            k.iadd(acc, acc.into(), v.into());
+        });
+        k.st_global_u64(acc.into(), base, 0);
+        let p = k.finish();
+        let launch = LaunchConfig::new(8, 128);
+        let g = MemImage::new(16 * 32 * 1024 + launch.total_threads() * 8);
+        (p, launch, g)
+    }
+
+    #[test]
+    fn memory_bandwidth_exerts_backpressure() {
+        let (p, launch, g0) = memory_kernel();
+        let base_cfg = GpuConfig::scaled(2);
+        let mut g1 = g0.clone();
+        let base = run_timed(&p, launch, &mut g1, &base_cfg);
+        assert!(base.activity.dram_accesses > 0, "kernel misses to DRAM");
+
+        // Starving DRAM/L2 bandwidth must cost cycles, not just shuffle
+        // counters.
+        let mut g2 = g0.clone();
+        let tight_cfg = base_cfg.with_dram_bw(1).with_l2_bw(1);
+        let tight = run_timed(&p, launch, &mut g2, &tight_cfg);
+        assert_eq!(g1.as_bytes(), g2.as_bytes(), "timing never changes results");
+        assert!(
+            tight.cycles > base.cycles,
+            "reduced bandwidth should slow the kernel: {} vs {}",
+            tight.cycles,
+            base.cycles
+        );
+
+        // A tiny MSHR file throttles the LDST pipe and shows up in the
+        // dedicated counter.
+        let mut g3 = g0.clone();
+        let throttled = run_timed(&p, launch, &mut g3, &base_cfg.with_mshr_entries(2));
+        assert!(
+            throttled.activity.mem_throttle > 0,
+            "full MSHR file was never hit"
+        );
+        assert!(throttled.cycles > base.cycles);
+
+        // Backpressured configurations stay bit-identical across the
+        // serial and parallel drivers.
+        let stress = tight_cfg.with_mshr_entries(4);
+        let mut g4 = g0.clone();
+        let mut g5 = g0.clone();
+        let serial = run_timed(&p, launch, &mut g4, &stress.with_sim_threads(1));
+        let parallel = run_timed(&p, launch, &mut g5, &stress.with_sim_threads(2));
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.activity, parallel.activity);
+        assert_eq!(g4.as_bytes(), g5.as_bytes());
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub enum EventKind {
         addr: u64,
         /// Round-trip latency in cycles.
         latency: u32,
-        /// Where it hit: 0 = L1, 1 = L2, 2 = DRAM.
+        /// Where it hit: 0 = L1, 1 = L2, 2 = DRAM, 3 = merged into an
+        /// in-flight MSHR fill.
         level: u8,
     },
     /// A warp reached a block-wide barrier.

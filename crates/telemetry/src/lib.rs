@@ -83,6 +83,7 @@ struct HotIds {
     l1_misses: metrics::CounterId,
     l2_misses: metrics::CounterId,
     dram_accesses: metrics::CounterId,
+    mshr_merges: metrics::CounterId,
     barriers: metrics::CounterId,
     recompute_slices: metrics::HistogramId,
     issue_gap: metrics::HistogramId,
@@ -183,6 +184,7 @@ impl Telemetry {
             l1_misses: registry.counter("mem.l1_misses"),
             l2_misses: registry.counter("mem.l2_misses"),
             dram_accesses: registry.counter("mem.dram_accesses"),
+            mshr_merges: registry.counter("mem.mshr_merges"),
             barriers: registry.counter("sched.barriers"),
             recompute_slices: registry.histogram("adder.recompute_slices"),
             issue_gap: registry.histogram("sched.issue_gap"),
@@ -332,19 +334,25 @@ impl Telemetry {
     }
 
     /// One coalesced global-memory transaction completed.
-    /// `level`: 0 = L1 hit, 1 = L2 hit, 2 = DRAM.
+    /// `level`: 0 = L1 hit, 1 = L2 hit, 2 = DRAM, 3 = merged into an
+    /// already-in-flight MSHR line fill (neither a hit nor a fresh miss
+    /// — it generated no new L2/DRAM traffic).
     pub fn mem_access(&mut self, sm: usize, cycle: u64, addr: u64, latency: u32, level: u8) {
         if !self.enabled {
             return;
         }
         let Some(ids) = self.ids else { return };
         self.registry.inc(ids.l1_accesses, 1);
-        if level >= 1 {
-            self.registry.inc(ids.l1_misses, 1);
-        }
-        if level >= 2 {
-            self.registry.inc(ids.l2_misses, 1);
-            self.registry.inc(ids.dram_accesses, 1);
+        if level == 3 {
+            self.registry.inc(ids.mshr_merges, 1);
+        } else {
+            if level >= 1 {
+                self.registry.inc(ids.l1_misses, 1);
+            }
+            if level >= 2 {
+                self.registry.inc(ids.l2_misses, 1);
+                self.registry.inc(ids.dram_accesses, 1);
+            }
         }
         self.registry.record(ids.mem_latency, u64::from(latency));
         self.record_event(

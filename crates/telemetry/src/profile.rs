@@ -39,7 +39,7 @@ use crate::metrics::IntervalSeries;
 use crate::Telemetry;
 
 /// Number of [`StallReason`] values (dense indices `0..NUM_STALL_REASONS`).
-pub const NUM_STALL_REASONS: usize = 14;
+pub const NUM_STALL_REASONS: usize = 15;
 
 /// Why a warp (or an SM issue slot) failed to issue in a cycle.
 ///
@@ -73,6 +73,10 @@ pub enum StallReason {
     PipeSfu,
     /// LD/ST ports all busy.
     PipeLdst,
+    /// LD/ST issue blocked by memory-subsystem back-pressure: the SM's
+    /// MSHR file is full, so no new global transaction can start until
+    /// an outstanding line fill retires.
+    MemThrottle,
     /// Warp finished (`exit` on every lane) but its block has not retired
     /// yet.
     Done,
@@ -99,6 +103,7 @@ pub const ALL_STALL_REASONS: [StallReason; NUM_STALL_REASONS] = [
     StallReason::PipeMulDiv,
     StallReason::PipeSfu,
     StallReason::PipeLdst,
+    StallReason::MemThrottle,
     StallReason::Done,
     StallReason::NotSelected,
     StallReason::NoWarp,
@@ -146,6 +151,7 @@ impl StallReason {
             StallReason::PipeMulDiv => "pipe_muldiv",
             StallReason::PipeSfu => "pipe_sfu",
             StallReason::PipeLdst => "pipe_ldst",
+            StallReason::MemThrottle => "mem_throttle",
             StallReason::Done => "done",
             StallReason::NotSelected => "not_selected",
             StallReason::NoWarp => "no_warp",
@@ -516,6 +522,36 @@ pub struct OccPoint {
     pub total_slots: u64,
 }
 
+/// Memory-subsystem totals captured from the telemetry registry: the
+/// numbers that, next to the `mem_pending`/`mem_throttle` stall shares,
+/// say whether a kernel is memory-bound and why.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemSummary {
+    /// Coalesced global transactions (L1 accesses).
+    pub l1_accesses: u64,
+    /// Fresh L1 misses (excludes merges).
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM line fills.
+    pub dram_accesses: u64,
+    /// Misses merged into an already-in-flight MSHR fill.
+    pub mshr_merges: u64,
+}
+
+impl MemSummary {
+    /// L1 hit fraction over non-merged transactions (1.0 when idle).
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        let fresh = self.l1_accesses.saturating_sub(self.mshr_merges);
+        if fresh == 0 {
+            1.0
+        } else {
+            1.0 - self.l1_misses as f64 / fresh as f64
+        }
+    }
+}
+
 /// A portable per-kernel profile snapshot: the nvprof-style report data,
 /// exportable to JSON and parseable back losslessly.
 #[derive(Debug, Clone, PartialEq)]
@@ -526,6 +562,8 @@ pub struct KernelProfile {
     pub cycles: u64,
     /// Warp instructions issued.
     pub warp_instructions: u64,
+    /// Memory-subsystem totals.
+    pub mem: MemSummary,
     /// Per-SM issue-slot accounting, SM-index order.
     pub sms: Vec<SmProfile>,
     /// Per-PC hotspot rows, PC order.
@@ -579,13 +617,18 @@ impl KernelProfile {
                 total_slots: p.values[3] as u64,
             })
             .collect();
+        let counter = |name: &str| tele.registry().counter_by_name(name).unwrap_or(0);
         KernelProfile {
             kernel: kernel.to_string(),
             cycles: tele.cycles(),
-            warp_instructions: tele
-                .registry()
-                .counter_by_name("sched.warp_instructions")
-                .unwrap_or(0),
+            warp_instructions: counter("sched.warp_instructions"),
+            mem: MemSummary {
+                l1_accesses: counter("mem.l1_accesses"),
+                l1_misses: counter("mem.l1_misses"),
+                l2_misses: counter("mem.l2_misses"),
+                dram_accesses: counter("mem.dram_accesses"),
+                mshr_merges: counter("mem.mshr_merges"),
+            },
             sms: collector.sms().to_vec(),
             pcs,
             occupancy,
@@ -620,6 +663,14 @@ impl KernelProfile {
         w.field_str("kernel", &self.kernel);
         w.field_u64("cycles", self.cycles);
         w.field_u64("warp_instructions", self.warp_instructions);
+        w.key("mem");
+        w.begin_object();
+        w.field_u64("l1_accesses", self.mem.l1_accesses);
+        w.field_u64("l1_misses", self.mem.l1_misses);
+        w.field_u64("l2_misses", self.mem.l2_misses);
+        w.field_u64("dram_accesses", self.mem.dram_accesses);
+        w.field_u64("mshr_merges", self.mem.mshr_merges);
+        w.end_object();
         w.key("sms");
         w.begin_array();
         for (i, s) in self.sms.iter().enumerate() {
@@ -736,6 +787,18 @@ impl KernelProfile {
                 total_slots: u(p, "total_slots")?,
             });
         }
+        // Absent in schema-1 documents written before the MSHR model;
+        // default to zeros for backward compatibility.
+        let mem = v.get("mem").map_or_else(MemSummary::default, |m| {
+            let opt = |key: &str| m.get(key).and_then(Value::as_f64).map_or(0, |f| f as u64);
+            MemSummary {
+                l1_accesses: opt("l1_accesses"),
+                l1_misses: opt("l1_misses"),
+                l2_misses: opt("l2_misses"),
+                dram_accesses: opt("dram_accesses"),
+                mshr_merges: opt("mshr_merges"),
+            }
+        });
         Ok(KernelProfile {
             kernel: v
                 .get("kernel")
@@ -744,6 +807,7 @@ impl KernelProfile {
                 .to_string(),
             cycles: u(&v, "cycles")?,
             warp_instructions: u(&v, "warp_instructions")?,
+            mem,
             sms,
             pcs,
             occupancy,
@@ -775,6 +839,17 @@ impl KernelProfile {
         );
         if t.fetch_oob > 0 {
             let _ = writeln!(out, "WARNING: {} out-of-range fetches masked", t.fetch_oob);
+        }
+        if self.mem.l1_accesses > 0 {
+            let _ = writeln!(
+                out,
+                "memory: {} transactions   L1 hit {:.1}%   {} MSHR merges   {} DRAM fills   {} throttled slots",
+                self.mem.l1_accesses,
+                100.0 * self.mem.l1_hit_rate(),
+                self.mem.mshr_merges,
+                self.mem.dram_accesses,
+                t.stalls[StallReason::MemThrottle.index()],
+            );
         }
 
         // Occupancy summary from the timeline totals.
@@ -970,6 +1045,13 @@ mod tests {
             kernel: "probe \"x\"".into(),
             cycles: 1234,
             warp_instructions: 567,
+            mem: MemSummary {
+                l1_accesses: 100,
+                l1_misses: 20,
+                l2_misses: 10,
+                dram_accesses: 10,
+                mshr_merges: 5,
+            },
             sms: vec![
                 SmProfile {
                     cycles: 1234,
@@ -1020,6 +1102,20 @@ mod tests {
         assert_eq!(back, profile);
         assert!(profile.reconciles());
         assert!((profile.pcs[0].accuracy() - (1.0 - 17.0 / 200.0)).abs() < 1e-12);
+        // Fresh transactions = 100 - 5 merges; 20 missed.
+        assert!((profile.mem.l1_hit_rate() - (1.0 - 20.0 / 95.0)).abs() < 1e-12);
+
+        // Documents written before the memory summary parse with zeroed
+        // totals instead of failing.
+        let legacy = text.replacen(
+            "\"mem\":{\"l1_accesses\":100,\"l1_misses\":20,\"l2_misses\":10,\
+             \"dram_accesses\":10,\"mshr_merges\":5},",
+            "",
+            1,
+        );
+        assert_ne!(legacy, text, "mem object was removed");
+        let old = KernelProfile::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(old.mem, MemSummary::default());
     }
 
     #[test]
@@ -1039,6 +1135,7 @@ mod tests {
             kernel: "probe".into(),
             cycles: 1,
             warp_instructions: 2,
+            mem: MemSummary::default(),
             sms: c.sms().to_vec(),
             pcs: c
                 .pcs_sorted()

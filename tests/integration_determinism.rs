@@ -27,11 +27,25 @@ fn timed(spec: &KernelSpec, cfg: &GpuConfig) -> (TimedOutput, Vec<u8>) {
     (out, mem.as_bytes().to_vec())
 }
 
+/// A deliberately starved memory subsystem: a tiny MSHR file plus
+/// single-request L2/DRAM bandwidth keeps the in-flight tracking, FIFO
+/// queueing and throttle back-pressure paths hot in every drain.
+fn tight_memory_cfg() -> GpuConfig {
+    GpuConfig::scaled(4)
+        .with_mshr_entries(4)
+        .with_dram_bw(1)
+        .with_l2_bw(1)
+}
+
 #[test]
 fn parallel_timed_runs_are_bit_identical_to_serial() {
     for name in KERNELS {
         let spec = spec_by_name(name);
-        for cfg in [GpuConfig::scaled(4), GpuConfig::scaled(4).with_st2()] {
+        for cfg in [
+            GpuConfig::scaled(4),
+            GpuConfig::scaled(4).with_st2(),
+            tight_memory_cfg(),
+        ] {
             let (serial, mem_serial) = timed(&spec, &cfg.with_sim_threads(1));
             for threads in [2u32, 4] {
                 let (parallel, mem_parallel) = timed(&spec, &cfg.with_sim_threads(threads));
@@ -66,7 +80,11 @@ fn parallel_timed_runs_are_bit_identical_to_serial() {
 fn parallel_profiles_are_bit_identical_to_serial() {
     for name in KERNELS {
         let spec = spec_by_name(name);
-        for cfg in [GpuConfig::scaled(4), GpuConfig::scaled(4).with_st2()] {
+        for cfg in [
+            GpuConfig::scaled(4),
+            GpuConfig::scaled(4).with_st2(),
+            tight_memory_cfg(),
+        ] {
             let observe = |threads: u32| {
                 let mut mem = spec.memory.clone();
                 let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
@@ -109,6 +127,28 @@ fn parallel_profiles_are_bit_identical_to_serial() {
             }
         }
     }
+}
+
+#[test]
+fn memory_bound_kernel_reacts_to_memory_knobs() {
+    // The memory model must be load-bearing on a real suite kernel:
+    // sgemm's tiled loads overlap on shared lines (nonzero MSHR merges)
+    // and starving DRAM bandwidth costs cycles rather than being
+    // absorbed by magic fixed latencies.
+    let spec = spec_by_name("sgemm");
+    let base = GpuConfig::scaled(4);
+    let (full, _) = timed(&spec, &base);
+    assert!(
+        full.activity.mshr_merges > 0,
+        "sgemm never merged a miss into an in-flight fill"
+    );
+    let (starved, _) = timed(&spec, &base.with_dram_bw(1).with_l2_bw(1));
+    assert!(
+        starved.cycles > full.cycles,
+        "cutting DRAM bandwidth did not cost cycles ({} vs {})",
+        starved.cycles,
+        full.cycles
+    );
 }
 
 #[test]
