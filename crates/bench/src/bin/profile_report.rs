@@ -109,20 +109,28 @@ fn main() -> ExitCode {
 
     header("memory boundedness");
     println!(
-        "{:<14} {:>12} {:>8} {:>10} {:>10} {:>10}",
-        "kernel", "transactions", "L1-hit%", "merges", "dram", "throttled"
+        "{:<14} {:>12} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "kernel", "transactions", "L1-hit%", "merges", "dram", "throttled", "p50", "p95", "max"
     );
     for p in &profiles {
         let t = p.total();
         println!(
-            "{:<14} {:>12} {:>8.1} {:>10} {:>10} {:>10}",
+            "{:<14} {:>12} {:>8.1} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
             p.kernel,
             p.mem.l1_accesses,
             100.0 * p.mem.l1_hit_rate(),
             p.mem.mshr_merges,
             p.mem.dram_accesses,
             t.stalls[StallReason::MemThrottle.index()],
+            p.mem.fill_p50,
+            p.mem.fill_p95,
+            p.mem.fill_max,
         );
+    }
+
+    header("memory deep-dive (per-interval timeline)");
+    for p in &profiles {
+        render_memory_deep_dive(p, &cfg);
     }
 
     if let Some(dir) = &args.out {
@@ -147,8 +155,67 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", combined.display());
+
+        // The per-kernel summary in the committed BENCH_profile.json
+        // shape, ready for `bench_diff` against a baseline.
+        let scale = if args.scale == Scale::Test {
+            "test"
+        } else {
+            "full"
+        };
+        let generator = format!("profile_report --scale {scale} (GpuConfig default, ST2 on)");
+        let summary = st2_bench::diff::summary_to_json(&st2_bench::diff::summary_from_profiles(
+            &profiles, &generator,
+        ));
+        let path = dir.join("BENCH_profile.json");
+        if let Err(e) = std::fs::write(&path, summary) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// Prints one kernel's memory timeline: average/peak MSHR occupancy,
+/// L2/DRAM bandwidth utilisation against the configured per-cycle
+/// budgets, and bandwidth-wait cycles, interval by interval next to the
+/// issue-slot utilisation of the same interval.
+fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
+    if p.mem_timeline.iter().all(|m| m.l2_requests == 0) {
+        println!("{:<14} (no global-memory traffic)", p.kernel);
+        return;
+    }
+    println!("{}:", p.kernel);
+    println!(
+        "  {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>8}",
+        "cycle", "mshr-avg", "mshr-pk", "L2-bw%", "dram-bw%", "bw-wait", "issue%"
+    );
+    const MAX_ROWS: usize = 16;
+    let rows = p.mem_timeline.len();
+    let mut prev = 0u64;
+    for (i, m) in p.mem_timeline.iter().take(MAX_ROWS).enumerate() {
+        let dt = (m.cycle - prev).max(1) as f64;
+        prev = m.cycle;
+        // Occupancy rows share the snapshot boundaries, so index i is
+        // the same interval.
+        let issue = p.occupancy.get(i).map_or(0.0, |o| {
+            100.0 * o.issued_slots as f64 / o.total_slots.max(1) as f64
+        });
+        println!(
+            "  {:>10} {:>9.2} {:>9} {:>8.1} {:>8.1} {:>9} {:>8.1}",
+            m.cycle,
+            m.mshr_occupied_cycles as f64 / dt,
+            m.mshr_peak,
+            100.0 * m.l2_requests as f64 / (f64::from(cfg.l2_bw) * dt),
+            100.0 * m.dram_requests as f64 / (f64::from(cfg.dram_bw) * dt),
+            m.bw_wait_cycles,
+            issue,
+        );
+    }
+    if rows > MAX_ROWS {
+        println!("  ... {} more intervals (see --out JSON)", rows - MAX_ROWS);
+    }
 }
 
 /// Every SM's slot accounting must balance to the cycle count exactly.

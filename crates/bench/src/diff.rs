@@ -1,0 +1,551 @@
+//! Profile-summary diffing: the `bench_diff` perf gate.
+//!
+//! A summary document is the committed `BENCH_profile.json` shape: one
+//! row per kernel with IPC, the stall mix, and (version ≥ 2) the
+//! fill-latency percentiles captured by the memory telemetry. The
+//! functions here regenerate that document from captured
+//! [`KernelProfile`]s, parse committed baselines (versioned and legacy
+//! alike), and compare a candidate against a baseline with configurable
+//! thresholds — so CI can fail a PR that silently slows a kernel down
+//! or shifts its stall mix, without any human squinting at tables.
+
+use std::fmt::Write as _;
+
+use st2::prelude::*;
+use st2::telemetry::json::{self, Value, Writer};
+use st2::telemetry::profile::ALL_STALL_REASONS;
+
+/// Summary document version written by [`summary_to_json`]. Version 2
+/// added fill-latency percentiles, the bandwidth-starvation counter and
+/// the per-reason stall-share map; version-1 documents parse with those
+/// comparisons skipped.
+pub const SUMMARY_VERSION: u32 = 2;
+
+/// One kernel's summary row. The `Option` fields only exist from
+/// version 2 on: `None` means "baseline predates the metric, skip the
+/// comparison", never "observed zero".
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Warp instructions per cycle.
+    pub ipc: f64,
+    /// Issued fraction of all issue slots.
+    pub issue_slot_util: f64,
+    /// Dominant stall reason.
+    pub top_stall: String,
+    /// Issue slots charged to ST² misprediction repair.
+    pub adder_repair_slots: u64,
+    /// `adder_repair_slots` as a fraction of all issue slots.
+    pub adder_repair_share: f64,
+    /// Out-of-range instruction fetches (0 for well-formed programs).
+    pub fetch_oob: u64,
+    /// Median fill latency in cycles (version ≥ 2).
+    pub fill_p50: Option<u64>,
+    /// 95th-percentile fill latency in cycles (version ≥ 2).
+    pub fill_p95: Option<u64>,
+    /// Maximum fill latency in cycles (version ≥ 2).
+    pub fill_max: Option<u64>,
+    /// Cycles requests waited purely on L2/DRAM bandwidth (version ≥ 2).
+    pub bw_starved_cycles: Option<u64>,
+    /// Per-reason stall shares (fraction of all issue slots, nonzero
+    /// reasons only, reason-name order; version ≥ 2).
+    pub stall_shares: Option<Vec<(String, f64)>>,
+}
+
+/// A whole summary document (the `BENCH_profile.json` envelope).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryDoc {
+    /// Document version (1 when the field is absent).
+    pub version: u32,
+    /// Free-text provenance ("how to regenerate me").
+    pub generator: String,
+    /// Per-kernel rows, suite order.
+    pub kernels: Vec<KernelSummary>,
+}
+
+fn round(v: f64, places: i32) -> f64 {
+    let scale = 10f64.powi(places);
+    (v * scale).round() / scale
+}
+
+/// Builds a summary document from captured kernel profiles.
+#[must_use]
+pub fn summary_from_profiles(profiles: &[KernelProfile], generator: &str) -> SummaryDoc {
+    let kernels = profiles
+        .iter()
+        .map(|p| {
+            let t = p.total();
+            let slots = t.slots.max(1) as f64;
+            let top_stall = ALL_STALL_REASONS
+                .iter()
+                .copied()
+                .max_by_key(|r| t.stalls[r.index()])
+                .map_or("-", StallReason::name)
+                .to_string();
+            let repair = t.stalls[st2::telemetry::profile::StallReason::AdderRepair.index()];
+            let shares: Vec<(String, f64)> = ALL_STALL_REASONS
+                .iter()
+                .filter(|r| t.stalls[r.index()] > 0)
+                .map(|r| {
+                    (
+                        r.name().to_string(),
+                        round(t.stalls[r.index()] as f64 / slots, 5),
+                    )
+                })
+                .collect();
+            KernelSummary {
+                kernel: p.kernel.clone(),
+                cycles: p.cycles,
+                warp_instructions: p.warp_instructions,
+                ipc: round(p.warp_instructions as f64 / p.cycles.max(1) as f64, 4),
+                issue_slot_util: round(t.issued as f64 / slots, 4),
+                top_stall,
+                adder_repair_slots: repair,
+                adder_repair_share: round(repair as f64 / slots, 5),
+                fetch_oob: t.fetch_oob,
+                fill_p50: Some(p.mem.fill_p50),
+                fill_p95: Some(p.mem.fill_p95),
+                fill_max: Some(p.mem.fill_max),
+                bw_starved_cycles: Some(p.mem.bw_starved_cycles),
+                stall_shares: Some(shares),
+            }
+        })
+        .collect();
+    SummaryDoc {
+        version: SUMMARY_VERSION,
+        generator: generator.to_string(),
+        kernels,
+    }
+}
+
+/// Serialises a summary document (the `BENCH_profile.json` text).
+#[must_use]
+pub fn summary_to_json(doc: &SummaryDoc) -> String {
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_u64("schema", 1);
+    w.field_u64("version", u64::from(doc.version));
+    w.field_str("generator", &doc.generator);
+    w.key("kernels");
+    w.begin_array();
+    for k in &doc.kernels {
+        w.begin_object();
+        w.field_str("kernel", &k.kernel);
+        w.field_u64("cycles", k.cycles);
+        w.field_u64("warp_instructions", k.warp_instructions);
+        w.field_f64("ipc", k.ipc);
+        w.field_f64("issue_slot_util", k.issue_slot_util);
+        w.field_str("top_stall", &k.top_stall);
+        w.field_u64("adder_repair_slots", k.adder_repair_slots);
+        w.field_f64("adder_repair_share", k.adder_repair_share);
+        w.field_u64("fetch_oob", k.fetch_oob);
+        if let Some(v) = k.fill_p50 {
+            w.field_u64("fill_p50", v);
+        }
+        if let Some(v) = k.fill_p95 {
+            w.field_u64("fill_p95", v);
+        }
+        if let Some(v) = k.fill_max {
+            w.field_u64("fill_max", v);
+        }
+        if let Some(v) = k.bw_starved_cycles {
+            w.field_u64("bw_starved_cycles", v);
+        }
+        if let Some(shares) = &k.stall_shares {
+            w.key("stall_shares");
+            w.begin_object();
+            for (name, share) in shares {
+                w.field_f64(name, *share);
+            }
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Parses a summary document, accepting both the current versioned shape
+/// and legacy (pre-version) baselines.
+///
+/// # Errors
+///
+/// Returns a message when the text is not valid JSON or a required
+/// field is missing.
+pub fn parse_summary(text: &str) -> Result<SummaryDoc, String> {
+    let v = json::parse(text)?;
+    let version = v
+        .get("version")
+        .and_then(Value::as_f64)
+        .map_or(1, |f| f as u32);
+    let generator = v
+        .get("generator")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let mut kernels = Vec::new();
+    for k in v
+        .get("kernels")
+        .and_then(Value::as_array)
+        .ok_or("missing kernels array")?
+    {
+        let u = |key: &str| -> Result<u64, String> {
+            k.get(key)
+                .and_then(Value::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            k.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let opt_u = |key: &str| k.get(key).and_then(Value::as_f64).map(|f| f as u64);
+        let stall_shares = k.get("stall_shares").map(|s| match s {
+            Value::Object(m) => m
+                .iter()
+                .filter_map(|(name, v)| v.as_f64().map(|f| (name.clone(), f)))
+                .collect(),
+            _ => Vec::new(),
+        });
+        kernels.push(KernelSummary {
+            kernel: k
+                .get("kernel")
+                .and_then(Value::as_str)
+                .ok_or("missing kernel name")?
+                .to_string(),
+            cycles: u("cycles")?,
+            warp_instructions: u("warp_instructions")?,
+            ipc: f("ipc")?,
+            issue_slot_util: f("issue_slot_util")?,
+            top_stall: k
+                .get("top_stall")
+                .and_then(Value::as_str)
+                .unwrap_or("-")
+                .to_string(),
+            adder_repair_slots: opt_u("adder_repair_slots").unwrap_or(0),
+            adder_repair_share: k
+                .get("adder_repair_share")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            fetch_oob: opt_u("fetch_oob").unwrap_or(0),
+            fill_p50: opt_u("fill_p50"),
+            fill_p95: opt_u("fill_p95"),
+            fill_max: opt_u("fill_max"),
+            bw_starved_cycles: opt_u("bw_starved_cycles"),
+            stall_shares,
+        });
+    }
+    Ok(SummaryDoc {
+        version,
+        generator,
+        kernels,
+    })
+}
+
+/// Regression thresholds for [`diff_summaries`]. All are "worse-than"
+/// bounds: improvements never fail the gate.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffThresholds {
+    /// Maximum tolerated relative IPC drop (0.10 = 10% slower).
+    pub max_ipc_drop: f64,
+    /// Maximum tolerated relative growth of the fill-latency p50/p95
+    /// percentiles (only checked when the baseline carries them and is
+    /// nonzero — log2 buckets make small wobbles land on the same bound).
+    pub max_p95_growth: f64,
+    /// Maximum tolerated absolute shift of any stall reason's share of
+    /// issue slots (0.10 = ten percentage points).
+    pub max_stall_shift: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            max_ipc_drop: 0.10,
+            max_p95_growth: 0.25,
+            max_stall_shift: 0.10,
+        }
+    }
+}
+
+/// One compared metric of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Kernel name.
+    pub kernel: String,
+    /// Metric label (e.g. `ipc`, `fill_p95`, `stall:mem_pending`).
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub cand: f64,
+    /// The change, in the metric's natural unit (relative for
+    /// ipc/percentiles, absolute share for stalls).
+    pub delta: f64,
+    /// Whether the change exceeds its threshold in the bad direction.
+    pub regressed: bool,
+}
+
+/// The outcome of one baseline/candidate comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every compared metric, kernel order.
+    pub lines: Vec<DiffLine>,
+    /// Kernels present in the baseline but absent from the candidate
+    /// (coverage loss — always a failure).
+    pub missing: Vec<String>,
+    /// Kernels present only in the candidate (informational).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether any metric regressed or baseline coverage was lost.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Renders the human-readable report (regressions first).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== bench_diff report ==");
+        for m in &self.missing {
+            let _ = writeln!(out, "REGRESSION {m:<14} kernel missing from candidate");
+        }
+        for l in self.lines.iter().filter(|l| l.regressed) {
+            let _ = writeln!(
+                out,
+                "REGRESSION {:<14} {:<18} {:>10.4} -> {:>10.4} ({:+.1}%)",
+                l.kernel,
+                l.metric,
+                l.base,
+                l.cand,
+                100.0 * l.delta
+            );
+        }
+        for m in &self.added {
+            let _ = writeln!(out, "note: kernel {m} only in candidate");
+        }
+        let regressions = self.lines.iter().filter(|l| l.regressed).count();
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} regressed, {} kernels missing",
+            self.lines.len(),
+            regressions + self.missing.len(),
+            self.missing.len()
+        );
+        out
+    }
+}
+
+/// Compares a candidate summary against a baseline. Metrics the
+/// baseline does not carry (legacy documents) are skipped, never
+/// failed, so the gate stays green across a baseline format upgrade.
+#[must_use]
+pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in &base.kernels {
+        let Some(c) = cand.kernels.iter().find(|c| c.kernel == b.kernel) else {
+            report.missing.push(b.kernel.clone());
+            continue;
+        };
+        // Relative IPC drop (positive delta = slower).
+        if b.ipc > 0.0 {
+            let drop = 1.0 - c.ipc / b.ipc;
+            report.lines.push(DiffLine {
+                kernel: b.kernel.clone(),
+                metric: "ipc".into(),
+                base: b.ipc,
+                cand: c.ipc,
+                delta: -drop,
+                regressed: drop > thr.max_ipc_drop,
+            });
+        }
+        // Fill-latency percentile growth, version-2 baselines only.
+        for (name, bv, cv) in [
+            ("fill_p50", b.fill_p50, c.fill_p50),
+            ("fill_p95", b.fill_p95, c.fill_p95),
+        ] {
+            let (Some(bv), Some(cv)) = (bv, cv) else {
+                continue;
+            };
+            if bv == 0 {
+                continue;
+            }
+            let growth = cv as f64 / bv as f64 - 1.0;
+            report.lines.push(DiffLine {
+                kernel: b.kernel.clone(),
+                metric: name.into(),
+                base: bv as f64,
+                cand: cv as f64,
+                delta: growth,
+                regressed: growth > thr.max_p95_growth,
+            });
+        }
+        // Absolute stall-share shifts over the union of reasons.
+        if let (Some(bs), Some(cs)) = (&b.stall_shares, &c.stall_shares) {
+            let share = |v: &[(String, f64)], name: &str| {
+                v.iter().find(|(n, _)| n == name).map_or(0.0, |(_, s)| *s)
+            };
+            let mut names: Vec<&str> = bs
+                .iter()
+                .chain(cs.iter())
+                .map(|(n, _)| n.as_str())
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                let (sb, sc) = (share(bs, name), share(cs, name));
+                let shift = (sc - sb).abs();
+                report.lines.push(DiffLine {
+                    kernel: b.kernel.clone(),
+                    metric: format!("stall:{name}"),
+                    base: sb,
+                    cand: sc,
+                    delta: sc - sb,
+                    regressed: shift > thr.max_stall_shift,
+                });
+            }
+        }
+    }
+    for c in &cand.kernels {
+        if !base.kernels.iter().any(|b| b.kernel == c.kernel) {
+            report.added.push(c.kernel.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(kernel: &str, ipc: f64, p95: u64, mem_share: f64) -> KernelSummary {
+        KernelSummary {
+            kernel: kernel.into(),
+            cycles: 1000,
+            warp_instructions: (ipc * 1000.0) as u64,
+            ipc,
+            issue_slot_util: ipc / 4.0,
+            top_stall: "mem_pending".into(),
+            adder_repair_slots: 0,
+            adder_repair_share: 0.0,
+            fetch_oob: 0,
+            fill_p50: Some(p95 / 2),
+            fill_p95: Some(p95),
+            fill_max: Some(p95 * 2),
+            bw_starved_cycles: Some(17),
+            stall_shares: Some(vec![("mem_pending".into(), mem_share)]),
+        }
+    }
+
+    fn doc(kernels: Vec<KernelSummary>) -> SummaryDoc {
+        SummaryDoc {
+            version: SUMMARY_VERSION,
+            generator: "test".into(),
+            kernels,
+        }
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let d = doc(vec![row("pathfinder", 0.8, 256, 0.4)]);
+        let text = summary_to_json(&d);
+        let back = parse_summary(&text).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn legacy_summary_parses_without_v2_fields() {
+        // The committed pre-version baseline shape: no version, no
+        // percentiles, no stall shares.
+        let text = r#"{"schema":1,"generator":"old","kernels":[
+            {"kernel":"sgemm","cycles":6923,"warp_instructions":4496,
+             "ipc":0.6494,"issue_slot_util":0.0406,"top_stall":"mem_pending",
+             "adder_repair_slots":578,"adder_repair_share":0.00522,"fetch_oob":0}]}"#;
+        let d = parse_summary(text).expect("legacy parses");
+        assert_eq!(d.version, 1);
+        let k = &d.kernels[0];
+        assert_eq!(k.fill_p95, None);
+        assert_eq!(k.stall_shares, None);
+        // Diffing a v2 candidate against it only compares IPC.
+        let cand = doc(vec![row("sgemm", 0.65, 300, 0.5)]);
+        let report = diff_summaries(&d, &cand, &DiffThresholds::default());
+        assert!(report.lines.iter().all(|l| l.metric == "ipc"));
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let d = doc(vec![row("a", 1.0, 128, 0.3), row("b", 0.5, 512, 0.6)]);
+        let report = diff_summaries(&d, &d, &DiffThresholds::default());
+        assert!(!report.regressed());
+        assert!(report.missing.is_empty() && report.added.is_empty());
+    }
+
+    #[test]
+    fn regressions_are_caught_per_metric() {
+        let thr = DiffThresholds::default();
+        let base = doc(vec![row("a", 1.0, 128, 0.30)]);
+        // IPC drop of 20% > 10% threshold.
+        let slow = doc(vec![row("a", 0.8, 128, 0.30)]);
+        assert!(diff_summaries(&base, &slow, &thr).regressed());
+        // p95 growth of 2x > 25% threshold.
+        let lat = doc(vec![row("a", 1.0, 256, 0.30)]);
+        assert!(diff_summaries(&base, &lat, &thr).regressed());
+        // Stall share shift of 15 points > 10-point threshold.
+        let shift = doc(vec![row("a", 1.0, 128, 0.45)]);
+        assert!(diff_summaries(&base, &shift, &thr).regressed());
+        // Improvements never fail.
+        let fast = doc(vec![row("a", 1.3, 64, 0.25)]);
+        assert!(!diff_summaries(&base, &fast, &thr).regressed());
+        // A missing kernel is coverage loss.
+        let empty = doc(vec![]);
+        let report = diff_summaries(&base, &empty, &thr);
+        assert!(report.regressed());
+        assert_eq!(report.missing, vec!["a".to_string()]);
+        let text = report.render();
+        assert!(
+            text.contains("REGRESSION"),
+            "render names the failure:\n{text}"
+        );
+    }
+
+    #[test]
+    fn summary_from_profiles_carries_mem_percentiles() {
+        let mut p = KernelProfile {
+            version: st2::telemetry::profile::PROFILE_VERSION,
+            kernel: "probe".into(),
+            cycles: 100,
+            warp_instructions: 250,
+            mem: Default::default(),
+            sms: vec![Default::default()],
+            pcs: vec![],
+            occupancy: vec![],
+            mem_timeline: vec![],
+        };
+        p.mem.fill_p95 = 256;
+        p.mem.bw_starved_cycles = 9;
+        p.sms[0].slots = 400;
+        p.sms[0].issued = 250;
+        p.sms[0].stalls[StallReason::MemPending.index()] = 150;
+        let d = summary_from_profiles(&[p], "unit");
+        assert_eq!(d.version, SUMMARY_VERSION);
+        let k = &d.kernels[0];
+        assert_eq!(k.ipc, 2.5);
+        assert_eq!(k.fill_p95, Some(256));
+        assert_eq!(k.bw_starved_cycles, Some(9));
+        let shares = k.stall_shares.as_ref().unwrap();
+        assert_eq!(shares.len(), 1);
+        assert!((shares[0].1 - 0.375).abs() < 1e-12);
+        // And the document it writes parses back identically.
+        assert_eq!(parse_summary(&summary_to_json(&d)).unwrap(), d);
+    }
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use std::sync::Mutex;
 
 use st2::prelude::*;

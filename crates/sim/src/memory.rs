@@ -208,7 +208,11 @@ pub struct MemoryHierarchy {
     dram_bw: u32,
 }
 
-/// Result of one coalesced transaction.
+/// Result of one coalesced transaction, carrying the request's
+/// lifecycle stamps: how long it waited for an MSHR entry, an L2
+/// request slot and a DRAM request slot before its fill could start.
+/// The stage waits are zero for L1 hits and merges (neither allocates
+/// a new fill).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
     /// Absolute cycle the result is available to the issuing warp.
@@ -222,6 +226,15 @@ pub struct AccessResult {
     /// Merged into an already-in-flight MSHR line fill (no new L2/DRAM
     /// traffic was generated).
     pub merged: bool,
+    /// Cycles the request waited for a free MSHR entry before it could
+    /// even start (request cycle → MSHR allocate).
+    pub mshr_wait: u64,
+    /// Cycles the started request queued for an L2 request slot
+    /// (MSHR allocate → L2 slot grant).
+    pub l2_wait: u64,
+    /// Cycles the L2 miss queued for a DRAM request slot
+    /// (L2 slot grant → DRAM slot grant). Zero on L2 hits.
+    pub dram_wait: u64,
 }
 
 impl AccessResult {
@@ -238,6 +251,21 @@ impl AccessResult {
         } else {
             2
         }
+    }
+
+    /// Whether this transaction started a fresh line fill (an L1 miss
+    /// that allocated an MSHR entry and generated L2/DRAM traffic).
+    #[must_use]
+    pub fn is_fill(&self) -> bool {
+        !self.l1_hit && !self.merged
+    }
+
+    /// Total cycles the fill spent queued for bandwidth slots
+    /// (L2 + DRAM), i.e. the wait attributable purely to finite
+    /// request bandwidth rather than MSHR capacity or service latency.
+    #[must_use]
+    pub fn bw_wait(&self) -> u64 {
+        self.l2_wait + self.dram_wait
     }
 }
 
@@ -298,6 +326,9 @@ impl MemoryHierarchy {
                 l1_hit: false,
                 l2_hit: false,
                 merged: true,
+                mshr_wait: 0,
+                l2_wait: 0,
+                dram_wait: 0,
             };
         }
         if self.l1s[sm].access(addr) {
@@ -307,6 +338,9 @@ impl MemoryHierarchy {
                 l1_hit: true,
                 l2_hit: false,
                 merged: false,
+                mshr_wait: 0,
+                l2_wait: 0,
+                dram_wait: 0,
             };
         }
         act.l1_misses += 1;
@@ -324,21 +358,32 @@ impl MemoryHierarchy {
             now
         };
         let l2_at = self.l2_slots.reserve(start, self.l2_bw);
-        let (ready_at, l2_hit) = if self.l2.access(addr) {
-            (l2_at + u64::from(self.l2_latency), true)
+        let (ready_at, l2_hit, dram_wait) = if self.l2.access(addr) {
+            (l2_at + u64::from(self.l2_latency), true, 0)
         } else {
             act.l2_misses += 1;
             act.dram_accesses += 1;
             let dram_at = self.dram_slots.reserve(l2_at, self.dram_bw);
-            (dram_at + u64::from(self.dram_latency), false)
+            (
+                dram_at + u64::from(self.dram_latency),
+                false,
+                dram_at - l2_at,
+            )
         };
         self.mshrs[sm].allocate(line_id, ready_at);
+        let l2_wait = l2_at - start;
+        // Cycles the request spent queued purely for a bandwidth slot
+        // (it already held or was granted an MSHR entry).
+        act.bw_starved_cycles += l2_wait + dram_wait;
         AccessResult {
             ready_at,
             latency: saturate(ready_at - now),
             l1_hit: false,
             l2_hit,
             merged: false,
+            mshr_wait: start - now,
+            l2_wait,
+            dram_wait,
         }
     }
 
@@ -355,6 +400,13 @@ impl MemoryHierarchy {
     #[must_use]
     pub fn mshr_state(&self, sm: usize) -> (u32, u64) {
         (self.mshrs[sm].free(), self.mshrs[sm].earliest())
+    }
+
+    /// SM `sm`'s occupied MSHR entries (in-flight line fills). Feeds
+    /// the telemetry occupancy timeline at drain time.
+    #[must_use]
+    pub fn mshr_occupied(&self, sm: usize) -> u32 {
+        self.mshrs[sm].entries.len() as u32
     }
 
     /// L1 line size.
@@ -381,15 +433,17 @@ fn saturate(cycles: u64) -> u32 {
 pub trait MemInterface {
     /// Queues one coalesced transaction touching the line at `addr`.
     /// `token` identifies the issuing access so the core can match the
-    /// worst-case completion time back to its scoreboard entry.
-    fn request(&mut self, token: u32, addr: u64);
+    /// worst-case completion time back to its scoreboard entry;
+    /// `store` discriminates write traffic for telemetry (stores take
+    /// the same write-allocate path through the hierarchy).
+    fn request(&mut self, token: u32, addr: u64, store: bool);
 }
 
-/// The standard [`MemInterface`]: a FIFO of `(token, addr)` pairs
-/// preserving issue order.
+/// The standard [`MemInterface`]: a FIFO of `(token, addr, store)`
+/// entries preserving issue order.
 #[derive(Debug, Default)]
 pub struct RequestQueue {
-    entries: Vec<(u32, u64)>,
+    entries: Vec<(u32, u64, bool)>,
 }
 
 impl RequestQueue {
@@ -401,7 +455,7 @@ impl RequestQueue {
 
     /// The queued requests in issue order, leaving the queue empty (the
     /// allocation is retained for reuse via the swap in the caller).
-    pub fn drain(&mut self) -> std::vec::Drain<'_, (u32, u64)> {
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (u32, u64, bool)> {
         self.entries.drain(..)
     }
 
@@ -413,8 +467,8 @@ impl RequestQueue {
 }
 
 impl MemInterface for RequestQueue {
-    fn request(&mut self, token: u32, addr: u64) {
-        self.entries.push((token, addr));
+    fn request(&mut self, token: u32, addr: u64, store: bool) {
+        self.entries.push((token, addr, store));
     }
 }
 
@@ -629,6 +683,51 @@ mod tests {
             load.ready_at
         );
         assert_eq!(h.mshr_state(0).0, GpuConfig::scaled(1).mshr_entries - 9);
+    }
+
+    #[test]
+    fn lifecycle_stamps_decompose_latency() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.dram_bw = 1;
+        cfg.l2_bw = 1;
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        // First miss of the cycle: granted immediately, no queueing.
+        let first = h.access(0, 1 << 24, 0, &mut act);
+        assert!(first.is_fill());
+        assert_eq!((first.mshr_wait, first.l2_wait, first.dram_wait), (0, 0, 0));
+        // Same-cycle misses queue behind it: the k-th distinct line
+        // waits k cycles for its L2 slot (and its latency grows by
+        // exactly that queueing delay).
+        for k in 1..4u64 {
+            let r = h.access(0, (1 << 24) + k * 4096, 0, &mut act);
+            assert_eq!(r.mshr_wait, 0);
+            assert_eq!(r.bw_wait(), k, "k-th request queues k cycles");
+            assert_eq!(
+                u64::from(r.latency),
+                u64::from(cfg.dram_latency) + k,
+                "stage waits reconcile with observed latency"
+            );
+        }
+        assert_eq!(act.bw_starved_cycles, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn mshr_wait_stamped_under_backpressure() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.mshr_entries = 1;
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        let a = h.access(0, 0x10000, 0, &mut act);
+        // File full: the second miss cannot allocate until a's fill
+        // frees the single entry.
+        let b = h.access(0, 0x20000, 3, &mut act);
+        assert_eq!(b.mshr_wait, a.ready_at - 3);
+        assert_eq!(act.mem_throttle, 1);
+        // Hits and merges carry zero stage waits.
+        let merged = h.access(0, 0x20000 + 8, 4, &mut act);
+        assert!(merged.merged);
+        assert_eq!(merged.mshr_wait + merged.bw_wait(), 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use st2_core::predictor::Predictor;
 use st2_core::sink::EventSink;
 use st2_core::SpeculationConfig;
 use st2_isa::{FloatWidth, Inst, IntOp, LaunchConfig, MemImage, Operand, Program, Reg, Space};
-use st2_telemetry::{CycleProfile, StallReason, Telemetry};
+use st2_telemetry::{CycleProfile, MemTxn, StallReason, Telemetry};
 
 #[derive(Debug)]
 struct BlockSlot {
@@ -669,7 +669,7 @@ impl SmCore {
                         let segs = coalesce(&m.addrs, cfg.l1_line);
                         let token = self.pending.len() as u32;
                         for seg in &segs {
-                            iface.request(token, *seg);
+                            iface.request(token, *seg, m.store);
                         }
                         self.pending.push(PendingAccess {
                             warp: wi,
@@ -770,15 +770,19 @@ impl SmCore {
     /// [`SmCore::step_cycle`] at cycle `now`) against the shared
     /// hierarchy, in issue order, and resolves parked scoreboard entries
     /// to the completion cycles the hierarchy computed (MSHR merges,
-    /// bandwidth queueing and throttle waits included). The driver calls
-    /// this once per SM per cycle, in SM-index order — the only place
-    /// shared memory-subsystem state is touched, which is what keeps
-    /// parallel runs bit-identical.
+    /// bandwidth queueing and throttle waits included). Each
+    /// transaction's lifecycle stamps (MSHR wait, per-stage bandwidth
+    /// queueing, load/store) feed telemetry, and the post-drain MSHR
+    /// occupancy is integrated over the `dt` clock ticks this cycle
+    /// covers. The driver calls this once per SM per cycle, in SM-index
+    /// order — the only place shared memory-subsystem state is touched,
+    /// which is what keeps parallel runs bit-identical.
     pub fn drain_memory(
         &mut self,
         queue: &mut RequestQueue,
         hier: &mut MemoryHierarchy,
         now: u64,
+        dt: u64,
         tele: &mut Telemetry,
     ) {
         // Retire completed line fills first so this cycle's requests and
@@ -786,9 +790,21 @@ impl SmCore {
         hier.retire_fills(self.index, now);
         if !self.pending.is_empty() || !queue.is_empty() {
             let mut worst = vec![now; self.pending.len()];
-            for (token, addr) in queue.drain() {
+            for (token, addr, store) in queue.drain() {
                 let r = hier.access(self.index, addr, now, &mut self.act);
-                tele.mem_access(self.index, now, addr, r.latency, r.level());
+                tele.mem_transaction(
+                    self.index,
+                    now,
+                    &MemTxn {
+                        addr,
+                        latency: r.latency,
+                        level: r.level(),
+                        store,
+                        mshr_wait: r.mshr_wait,
+                        l2_wait: r.l2_wait,
+                        dram_wait: r.dram_wait,
+                    },
+                );
                 worst[token as usize] = worst[token as usize].max(r.ready_at);
             }
             for (p, w) in self.pending.drain(..).zip(worst) {
@@ -806,6 +822,7 @@ impl SmCore {
             // issue is gated until a fill retires.
             self.act.mem_throttle += 1;
         }
+        tele.mem_occupancy(self.index, hier.mshr_occupied(self.index), dt);
         self.mem_credit = free;
         self.mem_wake = earliest;
     }
@@ -900,7 +917,7 @@ mod tests {
         for now in 0..50u64 {
             core.step_cycle(now, &p, launch, &mut g, &mut q, &mut tele);
             assert!(q.is_empty(), "zero-lane op queued a transaction");
-            core.drain_memory(&mut q, &mut hier, now, &mut tele);
+            core.drain_memory(&mut q, &mut hier, now, 1, &mut tele);
             core.finish_cycle();
         }
         let act = core.activity();

@@ -120,6 +120,12 @@ pub struct ActivityCounters {
     /// plus transactions that arrived at a full file and had to wait for
     /// an outstanding fill to retire before starting.
     pub mem_throttle: u64,
+    /// Cycles granted-ready requests spent waiting purely for an L2 or
+    /// DRAM bandwidth slot (they already held an MSHR entry), summed
+    /// over requests. Decomposes `mem_throttle` attribution: high
+    /// `bw_starved_cycles` with low `mem_throttle` means bandwidth, not
+    /// MSHR capacity, is the bottleneck.
+    pub bw_starved_cycles: u64,
     /// NoC flits moved (L1↔L2 traffic).
     pub noc_flits: u64,
     /// Shared-memory transactions (bank-conflicted accesses count once
@@ -169,6 +175,7 @@ impl ActivityCounters {
         self.dram_accesses += other.dram_accesses;
         self.mshr_merges += other.mshr_merges;
         self.mem_throttle += other.mem_throttle;
+        self.bw_starved_cycles += other.bw_starved_cycles;
         self.noc_flits += other.noc_flits;
         self.shared_accesses += other.shared_accesses;
         self.shared_bank_conflicts += other.shared_bank_conflicts;
@@ -217,6 +224,7 @@ impl ActivityCounters {
         out.dram_accesses *= e;
         out.mshr_merges *= e;
         out.mem_throttle *= e;
+        out.bw_starved_cycles *= e;
         out.noc_flits *= e;
         out.shared_accesses *= e;
         out.shared_bank_conflicts *= e;
@@ -320,6 +328,7 @@ mod tests {
             dram_accesses: 79 * e,
             mshr_merges: 197 * e,
             mem_throttle: 199 * e,
+            bw_starved_cycles: 211 * e,
             noc_flits: 83 * e,
             shared_accesses: 89 * e,
             shared_bank_conflicts: 97 * e,

@@ -207,7 +207,7 @@ fn run_serial(
         let next_now = next_cycle(now, any_issued, next_wake);
         let dt = next_now - now;
         for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
-            core.drain_memory(queue, &mut hier, now, tele);
+            core.drain_memory(queue, &mut hier, now, dt, tele);
             core.finish_cycle();
             core.commit_profile(dt, tele);
         }
@@ -354,7 +354,7 @@ fn run_parallel(
                 let mut unit = unit.lock().expect("sm unit lock");
                 let unit = &mut *unit;
                 unit.core
-                    .drain_memory(&mut unit.queue, &mut hier, now, &mut unit.tele);
+                    .drain_memory(&mut unit.queue, &mut hier, now, dt, &mut unit.tele);
                 unit.core.finish_cycle();
                 unit.core.commit_profile(dt, &mut unit.tele);
                 unit.tele.advance(next_now);

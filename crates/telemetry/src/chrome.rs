@@ -69,6 +69,36 @@ fn instant_event(w: &mut Writer, name: &str, cat: &str, tid: usize, ts: u64, arg
     w.end_object();
 }
 
+/// One async-track event (`ph` ∈ {"b", "n", "e"}) on the `mem.fill`
+/// category: Chrome groups events sharing a `cat` + `id` into one async
+/// span, so a request's begin / milestone / end render as a single bar
+/// with markers in `chrome://tracing`.
+fn async_event(
+    w: &mut Writer,
+    ph: &str,
+    name: &str,
+    id: u64,
+    tid: usize,
+    ts: u64,
+    args: &[(&str, u64)],
+) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("cat", "mem.fill");
+    w.field_str("ph", ph);
+    w.field_u64("id", id);
+    w.field_u64("ts", ts);
+    w.field_u64("pid", 0);
+    w.field_u64("tid", tid as u64);
+    w.key("args");
+    w.begin_object();
+    for (k, v) in args {
+        w.field_u64(k, *v);
+    }
+    w.end_object();
+    w.end_object();
+}
+
 fn counter_event(w: &mut Writer, name: &str, ts: u64, value: f64) {
     w.begin_object();
     w.field_str("name", name);
@@ -95,6 +125,7 @@ pub fn export(tele: &Telemetry, label: &str) -> String {
         meta_event(&mut w, "thread_name", Some(sm), &format!("SM {sm}"));
     }
 
+    let mut fill_id = 0u64;
     for (sm, ring) in tele.rings().iter().enumerate() {
         for ev in ring.iter_in_order() {
             match ev.kind {
@@ -146,6 +177,59 @@ pub fn export(tele: &Telemetry, label: &str) -> String {
                     u64::from(latency),
                     &[("addr", addr)],
                 ),
+                EventKind::MemFill {
+                    addr,
+                    mshr_wait,
+                    queue_wait,
+                    latency,
+                    level,
+                    store,
+                } => {
+                    // One async span per fill: request → MSHR allocate
+                    // → slot grant → fill complete, as "b"/"n"/"e"
+                    // events sharing an id.
+                    fill_id += 1;
+                    let name = match (level, store) {
+                        (1, false) => "fill L2 load",
+                        (1, true) => "fill L2 store",
+                        (2, false) => "fill DRAM load",
+                        _ => "fill DRAM store",
+                    };
+                    let args = [
+                        ("addr", addr),
+                        ("mshr_wait", u64::from(mshr_wait)),
+                        ("queue_wait", u64::from(queue_wait)),
+                        ("latency", u64::from(latency)),
+                    ];
+                    async_event(&mut w, "b", name, fill_id, sm, ev.cycle, &args);
+                    async_event(
+                        &mut w,
+                        "n",
+                        "mshr allocate",
+                        fill_id,
+                        sm,
+                        ev.cycle + u64::from(mshr_wait),
+                        &[],
+                    );
+                    async_event(
+                        &mut w,
+                        "n",
+                        "slot grant",
+                        fill_id,
+                        sm,
+                        ev.cycle + u64::from(mshr_wait) + u64::from(queue_wait),
+                        &[],
+                    );
+                    async_event(
+                        &mut w,
+                        "e",
+                        name,
+                        fill_id,
+                        sm,
+                        ev.cycle + u64::from(latency).max(1),
+                        &[],
+                    );
+                }
                 EventKind::Barrier { warp } => instant_event(
                     &mut w,
                     "barrier",
@@ -167,11 +251,14 @@ pub fn export(tele: &Telemetry, label: &str) -> String {
         }
     }
 
-    // Interval series as counter tracks.
-    let columns = tele.series().columns().to_vec();
-    for (ci, col) in columns.iter().enumerate() {
-        for p in tele.series().points() {
-            counter_event(&mut w, col, p.cycle, p.values[ci]);
+    // Interval series as counter tracks (core metrics plus the memory
+    // timeline).
+    for series in [tele.series(), tele.mem_series()] {
+        let columns = series.columns().to_vec();
+        for (ci, col) in columns.iter().enumerate() {
+            for p in series.points() {
+                counter_event(&mut w, col, p.cycle, p.values[ci]);
+            }
         }
     }
 
@@ -214,6 +301,72 @@ mod tests {
         assert_eq!(
             v.get("otherData").unwrap().get("kernel").unwrap().as_str(),
             Some("unit")
+        );
+    }
+
+    #[test]
+    fn fills_export_as_paired_async_spans() {
+        let mut t = Telemetry::for_run(1, TelemetryConfig::default());
+        t.mem_transaction(
+            0,
+            10,
+            &crate::MemTxn {
+                addr: 4096,
+                latency: 120,
+                level: 2,
+                store: false,
+                mshr_wait: 4,
+                l2_wait: 2,
+                dram_wait: 1,
+            },
+        );
+        t.mem_transaction(
+            0,
+            12,
+            &crate::MemTxn {
+                addr: 8192,
+                latency: 40,
+                level: 1,
+                store: true,
+                ..crate::MemTxn::default()
+            },
+        );
+        t.finalize(200);
+        let text = export(&t, "unit");
+        let v = json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phase = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some(ph))
+                .count()
+        };
+        // Each fill contributes one begin, two milestones, one end,
+        // all on the mem.fill category with matching ids.
+        assert_eq!(phase("b"), 2);
+        assert_eq!(phase("e"), 2);
+        assert_eq!(phase("n"), 4);
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("b"))
+            .collect();
+        for b in &begins {
+            assert_eq!(b.get("cat").and_then(json::Value::as_str), Some("mem.fill"));
+            let id = b.get("id").and_then(json::Value::as_f64).unwrap();
+            let end = events.iter().find(|e| {
+                e.get("ph").and_then(json::Value::as_str) == Some("e")
+                    && e.get("id").and_then(json::Value::as_f64) == Some(id)
+            });
+            assert!(end.is_some(), "unmatched async begin id {id}");
+        }
+        // The DRAM fill's end lands latency cycles after its begin.
+        let dram_begin = begins
+            .iter()
+            .find(|e| e.get("name").and_then(json::Value::as_str) == Some("fill DRAM load"))
+            .unwrap();
+        assert_eq!(
+            dram_begin.get("ts").and_then(json::Value::as_f64),
+            Some(10.0)
         );
     }
 }

@@ -43,6 +43,25 @@ pub enum EventKind {
         /// in-flight MSHR fill.
         level: u8,
     },
+    /// Lifecycle of one fresh line fill (an L1 miss that allocated an
+    /// MSHR entry): request → MSHR allocate → bandwidth-slot grant →
+    /// fill complete. The event's cycle is the request cycle; the three
+    /// stage lengths partition the time up to the grant, with service
+    /// latency covering the rest of `latency`.
+    MemFill {
+        /// Segment (line-aligned) address.
+        addr: u64,
+        /// Cycles stalled waiting for a free MSHR entry.
+        mshr_wait: u32,
+        /// Cycles queued for L2/DRAM request-bandwidth slots.
+        queue_wait: u32,
+        /// Total request-to-fill latency in cycles.
+        latency: u32,
+        /// Where the fill was served: 1 = L2, 2 = DRAM.
+        level: u8,
+        /// Whether the transaction was a store (write-allocate fill).
+        store: bool,
+    },
     /// A warp reached a block-wide barrier.
     Barrier {
         /// Waiting warp (SM-local index).

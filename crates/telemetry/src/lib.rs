@@ -84,10 +84,18 @@ struct HotIds {
     l2_misses: metrics::CounterId,
     dram_accesses: metrics::CounterId,
     mshr_merges: metrics::CounterId,
+    mshr_wait_cycles: metrics::CounterId,
+    bw_starved_cycles: metrics::CounterId,
     barriers: metrics::CounterId,
     recompute_slices: metrics::HistogramId,
     issue_gap: metrics::HistogramId,
     mem_latency: metrics::HistogramId,
+    fill_latency: metrics::HistogramId,
+    mshr_wait: metrics::HistogramId,
+    l2_queue_wait: metrics::HistogramId,
+    dram_queue_wait: metrics::HistogramId,
+    load_latency: metrics::HistogramId,
+    store_latency: metrics::HistogramId,
 }
 
 /// Per-PC prediction bookkeeping.
@@ -104,6 +112,38 @@ struct SnapshotBase {
     ops: u64,
     mispredicts: u64,
     instructions: u64,
+}
+
+/// Memory-timeline baseline: cumulative values at the last snapshot of
+/// the memory interval series.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemBase {
+    occupied_cycles: u64,
+    l1_misses: u64,
+    dram_accesses: u64,
+    bw_wait: u64,
+}
+
+/// Lifecycle stamps of one coalesced global-memory transaction, as
+/// reported by the simulator's drain phase. All stage waits are in
+/// cycles and are zero for hits and merges (only fresh fills queue).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemTxn {
+    /// Segment (line-aligned) address.
+    pub addr: u64,
+    /// Total request-to-completion latency in cycles.
+    pub latency: u32,
+    /// 0 = L1 hit, 1 = L2 hit, 2 = DRAM, 3 = merged into an in-flight
+    /// fill.
+    pub level: u8,
+    /// Whether the transaction was a store (write-allocate).
+    pub store: bool,
+    /// Cycles stalled waiting for a free MSHR entry.
+    pub mshr_wait: u64,
+    /// Cycles queued for an L2 request-bandwidth slot.
+    pub l2_wait: u64,
+    /// Cycles queued for a DRAM request-bandwidth slot.
+    pub dram_wait: u64,
 }
 
 /// The telemetry collector for one simulation run.
@@ -127,11 +167,34 @@ pub struct Telemetry {
     cur_cycle: u64,
     next_snapshot: u64,
     base: SnapshotBase,
+    mem_series: IntervalSeries,
+    mem_base: MemBase,
+    mshr_occupied_cycles: u64,
+    /// Per-SM peak MSHR occupancy within the current snapshot interval.
+    /// The interval row publishes the *sum of per-SM peaks*, a pure
+    /// integer sum — so a serial run (one collector, all SMs) and a
+    /// parallel run (per-SM children merged with
+    /// [`IntervalSeries::merge_sum`]) produce bit-identical timelines.
+    mshr_interval_peak: Vec<u32>,
     final_cycles: u64,
 }
 
 /// Interval-series column order (see [`Telemetry::series`]).
 pub const SERIES_COLUMNS: [&str; 4] = ["adder.accuracy", "adder.ops", "adder.mispredicts", "ipc"];
+
+/// Memory interval-series column order (see [`Telemetry::mem_series`]).
+/// All columns are extensive integer sums over the interval:
+/// occupied MSHR-entry-cycles, the sum of per-SM peak occupancies,
+/// L2/DRAM requests granted, and cycles requests spent queued for
+/// bandwidth slots (Little's law: divide by the interval length for
+/// the average queue depth).
+pub const MEM_SERIES_COLUMNS: [&str; 5] = [
+    "mem.mshr_occupied_cycles",
+    "mem.mshr_peak",
+    "mem.l2_requests",
+    "mem.dram_requests",
+    "mem.bw_wait_cycles",
+];
 
 impl Telemetry {
     /// A disabled collector: allocates nothing, records nothing.
@@ -156,6 +219,10 @@ impl Telemetry {
             cur_cycle: 0,
             next_snapshot: u64::MAX,
             base: SnapshotBase::default(),
+            mem_series: IntervalSeries::default(),
+            mem_base: MemBase::default(),
+            mshr_occupied_cycles: 0,
+            mshr_interval_peak: Vec::new(),
             final_cycles: 0,
         }
     }
@@ -185,10 +252,18 @@ impl Telemetry {
             l2_misses: registry.counter("mem.l2_misses"),
             dram_accesses: registry.counter("mem.dram_accesses"),
             mshr_merges: registry.counter("mem.mshr_merges"),
+            mshr_wait_cycles: registry.counter("mem.mshr_wait_cycles"),
+            bw_starved_cycles: registry.counter("mem.bw_starved_cycles"),
             barriers: registry.counter("sched.barriers"),
             recompute_slices: registry.histogram("adder.recompute_slices"),
             issue_gap: registry.histogram("sched.issue_gap"),
             mem_latency: registry.histogram("mem.latency"),
+            fill_latency: registry.histogram("mem.fill_latency"),
+            mshr_wait: registry.histogram("mem.mshr_wait"),
+            l2_queue_wait: registry.histogram("mem.l2_queue_wait"),
+            dram_queue_wait: registry.histogram("mem.dram_queue_wait"),
+            load_latency: registry.histogram("mem.load_latency"),
+            store_latency: registry.histogram("mem.store_latency"),
         };
         Telemetry {
             enabled: true,
@@ -207,6 +282,15 @@ impl Telemetry {
             cur_cycle: 0,
             next_snapshot: config.interval_cycles.max(1),
             base: SnapshotBase::default(),
+            mem_series: IntervalSeries::new(
+                MEM_SERIES_COLUMNS
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            ),
+            mem_base: MemBase::default(),
+            mshr_occupied_cycles: 0,
+            mshr_interval_peak: vec![0; num_sms.max(1)],
             final_cycles: 0,
         }
     }
@@ -278,6 +362,21 @@ impl Telemetry {
         self.base.instructions += other.base.instructions;
         self.base.cycle = self.base.cycle.max(other.base.cycle);
         self.next_snapshot = self.next_snapshot.max(other.next_snapshot);
+        // Memory timeline: rows sum pointwise (all columns are
+        // extensive integers), cumulative integrals and baselines sum,
+        // and the child's post-boundary peak lands in this collector's
+        // per-SM slot so the final partial snapshot matches serial.
+        self.mem_series.merge_sum(&other.mem_series);
+        self.mshr_occupied_cycles += other.mshr_occupied_cycles;
+        self.mem_base.occupied_cycles += other.mem_base.occupied_cycles;
+        self.mem_base.l1_misses += other.mem_base.l1_misses;
+        self.mem_base.dram_accesses += other.mem_base.dram_accesses;
+        self.mem_base.bw_wait += other.mem_base.bw_wait;
+        let other_peak = other.mshr_interval_peak.iter().copied().max().unwrap_or(0);
+        let idx = sm.min(self.mshr_interval_peak.len().saturating_sub(1));
+        if let Some(p) = self.mshr_interval_peak.get_mut(idx) {
+            *p = (*p).max(other_peak);
+        }
     }
 
     /// Sets the SM / cycle context subsequent sink callbacks attribute
@@ -337,33 +436,100 @@ impl Telemetry {
     /// `level`: 0 = L1 hit, 1 = L2 hit, 2 = DRAM, 3 = merged into an
     /// already-in-flight MSHR line fill (neither a hit nor a fresh miss
     /// — it generated no new L2/DRAM traffic).
+    ///
+    /// Convenience wrapper over [`Telemetry::mem_transaction`] with no
+    /// lifecycle stamps (a zero-wait load).
     pub fn mem_access(&mut self, sm: usize, cycle: u64, addr: u64, latency: u32, level: u8) {
+        self.mem_transaction(
+            sm,
+            cycle,
+            &MemTxn {
+                addr,
+                latency,
+                level,
+                ..MemTxn::default()
+            },
+        );
+    }
+
+    /// One coalesced global-memory transaction completed, with its full
+    /// lifecycle stamps. Updates the hit/miss counters and latency
+    /// histograms (total plus a load/store split); fresh fills
+    /// (`level` 1 or 2) additionally feed the per-stage queue-wait
+    /// histograms, the `mem.mshr_wait_cycles` / `mem.bw_starved_cycles`
+    /// counters and an [`EventKind::MemFill`] lifecycle event for the
+    /// Chrome-trace async spans.
+    pub fn mem_transaction(&mut self, sm: usize, cycle: u64, t: &MemTxn) {
         if !self.enabled {
             return;
         }
         let Some(ids) = self.ids else { return };
         self.registry.inc(ids.l1_accesses, 1);
-        if level == 3 {
+        if t.level == 3 {
             self.registry.inc(ids.mshr_merges, 1);
         } else {
-            if level >= 1 {
+            if t.level >= 1 {
                 self.registry.inc(ids.l1_misses, 1);
             }
-            if level >= 2 {
+            if t.level >= 2 {
                 self.registry.inc(ids.l2_misses, 1);
                 self.registry.inc(ids.dram_accesses, 1);
             }
         }
-        self.registry.record(ids.mem_latency, u64::from(latency));
+        self.registry.record(ids.mem_latency, u64::from(t.latency));
+        let split = if t.store {
+            ids.store_latency
+        } else {
+            ids.load_latency
+        };
+        self.registry.record(split, u64::from(t.latency));
+        if t.level == 1 || t.level == 2 {
+            self.registry.record(ids.fill_latency, u64::from(t.latency));
+            self.registry.record(ids.mshr_wait, t.mshr_wait);
+            self.registry.record(ids.l2_queue_wait, t.l2_wait);
+            if t.level == 2 {
+                self.registry.record(ids.dram_queue_wait, t.dram_wait);
+            }
+            self.registry.inc(ids.mshr_wait_cycles, t.mshr_wait);
+            self.registry
+                .inc(ids.bw_starved_cycles, t.l2_wait + t.dram_wait);
+            self.record_event(
+                sm,
+                cycle,
+                EventKind::MemFill {
+                    addr: t.addr,
+                    mshr_wait: saturate32(t.mshr_wait),
+                    queue_wait: saturate32(t.l2_wait + t.dram_wait),
+                    latency: t.latency,
+                    level: t.level,
+                    store: t.store,
+                },
+            );
+        }
         self.record_event(
             sm,
             cycle,
             EventKind::MemAccess {
-                addr,
-                latency,
-                level,
+                addr: t.addr,
+                latency: t.latency,
+                level: t.level,
             },
         );
+    }
+
+    /// Records SM `sm` holding `occupied` MSHR entries for the `dt`
+    /// clock ticks ending at the current drain. Integrates the
+    /// occupied-entry-cycles column of the memory timeline and tracks
+    /// the per-SM interval peak.
+    pub fn mem_occupancy(&mut self, sm: usize, occupied: u32, dt: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.mshr_occupied_cycles += u64::from(occupied) * dt;
+        let idx = sm.min(self.mshr_interval_peak.len().saturating_sub(1));
+        if let Some(p) = self.mshr_interval_peak.get_mut(idx) {
+            *p = (*p).max(occupied);
+        }
     }
 
     /// A warp reached a block barrier.
@@ -401,6 +567,33 @@ impl Telemetry {
     fn take_snapshot(&mut self, cycle: u64) {
         self.profile.snapshot(cycle);
         let Some(ids) = self.ids else { return };
+        // Memory timeline row: interval deltas of the extensive memory
+        // integrals plus the summed per-SM occupancy peaks. Pure
+        // integer values stored as exact f64s, so per-SM rows merged by
+        // `merge_sum` are bit-identical to a serial collector's.
+        let l1m = self.registry.counter_value(ids.l1_misses);
+        let dram = self.registry.counter_value(ids.dram_accesses);
+        let bw = self.registry.counter_value(ids.bw_starved_cycles);
+        let peak_sum: u64 = self.mshr_interval_peak.iter().map(|&p| u64::from(p)).sum();
+        self.mem_series.push(
+            cycle,
+            vec![
+                (self.mshr_occupied_cycles - self.mem_base.occupied_cycles) as f64,
+                peak_sum as f64,
+                (l1m - self.mem_base.l1_misses) as f64,
+                (dram - self.mem_base.dram_accesses) as f64,
+                (bw - self.mem_base.bw_wait) as f64,
+            ],
+        );
+        self.mem_base = MemBase {
+            occupied_cycles: self.mshr_occupied_cycles,
+            l1_misses: l1m,
+            dram_accesses: dram,
+            bw_wait: bw,
+        };
+        for p in &mut self.mshr_interval_peak {
+            *p = 0;
+        }
         let ops = self.registry.counter_value(ids.adder_ops);
         let mis = self.registry.counter_value(ids.adder_mispredicts);
         let ins = self.registry.counter_value(ids.warp_instructions);
@@ -478,6 +671,19 @@ impl Telemetry {
         &self.series
     }
 
+    /// The memory interval timeline (columns: [`MEM_SERIES_COLUMNS`]).
+    #[must_use]
+    pub fn mem_series(&self) -> &IntervalSeries {
+        &self.mem_series
+    }
+
+    /// Cumulative MSHR occupied-entry-cycles integrated over the run
+    /// (divide by SM-cycles for the average occupancy).
+    #[must_use]
+    pub fn mem_occupied_cycles(&self) -> u64 {
+        self.mshr_occupied_cycles
+    }
+
     /// Per-SM event rings.
     #[must_use]
     pub fn rings(&self) -> &[RingBuffer] {
@@ -520,6 +726,10 @@ impl Telemetry {
         });
         v
     }
+}
+
+fn saturate32(cycles: u64) -> u32 {
+    u32::try_from(cycles).unwrap_or(u32::MAX)
 }
 
 impl EventSink for Telemetry {
@@ -716,6 +926,76 @@ mod tests {
             .unwrap()
             .1;
         assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_transaction_records_lifecycle_channels() {
+        let mut t = Telemetry::for_run(
+            1,
+            TelemetryConfig {
+                ring_capacity: 16,
+                interval_cycles: 100,
+                profile_pc_capacity: 64,
+            },
+        );
+        // A DRAM fill that queued at every stage, a clean L2 store
+        // fill, and an L1 hit (no fill).
+        t.mem_transaction(
+            0,
+            5,
+            &MemTxn {
+                addr: 4096,
+                latency: 140,
+                level: 2,
+                store: false,
+                mshr_wait: 10,
+                l2_wait: 3,
+                dram_wait: 2,
+            },
+        );
+        t.mem_transaction(
+            0,
+            6,
+            &MemTxn {
+                addr: 8192,
+                latency: 30,
+                level: 1,
+                store: true,
+                ..MemTxn::default()
+            },
+        );
+        t.mem_access(0, 7, 4096, 4, 0);
+        let r = t.registry();
+        assert_eq!(r.counter_by_name("mem.bw_starved_cycles"), Some(5));
+        assert_eq!(r.counter_by_name("mem.mshr_wait_cycles"), Some(10));
+        assert_eq!(r.histogram_by_name("mem.fill_latency").unwrap().count(), 2);
+        assert_eq!(r.histogram_by_name("mem.fill_latency").unwrap().max(), 140);
+        assert_eq!(r.histogram_by_name("mem.load_latency").unwrap().count(), 2);
+        assert_eq!(r.histogram_by_name("mem.store_latency").unwrap().count(), 1);
+        assert_eq!(
+            r.histogram_by_name("mem.dram_queue_wait").unwrap().count(),
+            1
+        );
+        let fills = t.rings()[0]
+            .iter_in_order()
+            .filter(|e| matches!(e.kind, EventKind::MemFill { .. }))
+            .count();
+        assert_eq!(fills, 2, "one lifecycle event per fresh fill");
+
+        // Occupancy timeline: integral and per-interval peak, with the
+        // peak reset at each snapshot boundary.
+        t.mem_occupancy(0, 3, 10);
+        t.mem_occupancy(0, 5, 2);
+        t.finalize(150);
+        assert_eq!(t.mem_occupied_cycles(), 40);
+        let pts = t.mem_series().points();
+        assert_eq!(pts.len(), 2, "boundary snapshot plus final partial");
+        // First interval: all the activity above.
+        assert_eq!(pts[0].cycle, 100);
+        assert_eq!(pts[0].values, vec![40.0, 5.0, 2.0, 1.0, 5.0]);
+        // Final partial interval: quiet, peak reset.
+        assert_eq!(pts[1].cycle, 150);
+        assert_eq!(pts[1].values, vec![0.0; 5]);
     }
 
     #[test]

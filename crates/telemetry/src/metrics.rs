@@ -28,7 +28,7 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 /// `[2^(i-1), 2^i - 1]`. This makes bucket boundaries exact powers of
 /// two, which is the natural resolution for stall lengths, latencies and
 /// gap distributions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
     count: u64,
@@ -126,6 +126,45 @@ impl Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-quantile of the recorded samples at bucket resolution:
+    /// the upper bound of the bucket containing the sample of rank
+    /// `ceil(p * count)` (clamped to `[1, count]`). Returns 0 on an
+    /// empty histogram. Pure integer bucket arithmetic, so per-SM
+    /// histograms merged with [`Histogram::merge`] yield bit-identical
+    /// percentiles regardless of merge order.
+    ///
+    /// The overflow bucket (`[2^63, u64::MAX]`) reports its upper bound
+    /// like any other; use [`Histogram::max`] for the exact maximum.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        self.max
+    }
+
+    /// The median at bucket resolution (see [`Histogram::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 95th percentile at bucket resolution
+    /// (see [`Histogram::percentile`]).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
     }
 
     /// The non-empty buckets as `(lo, hi, count)` triples, low to high.
@@ -362,6 +401,15 @@ impl MetricsRegistry {
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
     }
+
+    /// Looks up a histogram by name (exporters, profile capture).
+    #[must_use]
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +451,124 @@ mod tests {
         assert_eq!(h.buckets()[2], 1);
         assert_eq!(h.buckets()[Histogram::bucket_index(100)], 1);
         assert!((h.mean() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentiles_single_bucket() {
+        // All samples in one bucket: every percentile reports that
+        // bucket's upper bound.
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(5); // bucket [4, 7]
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p95(), 7);
+        assert_eq!(h.percentile(0.01), 7);
+        assert_eq!(h.max(), 5);
+        // Exact zeros stay in the zero bucket.
+        let mut z = Histogram::default();
+        z.record(0);
+        assert_eq!(z.p50(), 0);
+        assert_eq!(z.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        // 90 small samples, 10 large: p50 sits in the small bucket,
+        // p95 in the large one.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(3); // bucket [2, 3]
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1023]
+        }
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.percentile(0.90), 3);
+        assert_eq!(h.p95(), 1023);
+        assert_eq!(h.percentile(1.0), 1023);
+    }
+
+    #[test]
+    fn percentiles_overflow_bucket() {
+        // Samples in the top bucket [2^63, u64::MAX]: the percentile
+        // reports the bucket's upper bound; `max` stays exact.
+        let mut h = Histogram::default();
+        h.record(u64::MAX - 3);
+        h.record(1 << 63);
+        assert_eq!(Histogram::bucket_index(u64::MAX - 3), 64);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn merged_percentiles_match_single_histogram() {
+        // Recording the same samples in one histogram or in two merged
+        // halves must yield bit-identical percentiles (the determinism
+        // contract for per-SM collectors).
+        let samples = [0u64, 1, 7, 7, 30, 100, 5000, 5000, 5000, 1 << 40];
+        let mut whole = Histogram::default();
+        let (mut a, mut b) = (Histogram::default(), Histogram::default());
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for p in [0.1, 0.5, 0.95, 1.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+
+    mod percentile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn filled(samples: &[u64]) -> Histogram {
+            let mut h = Histogram::default();
+            for &v in samples {
+                h.record(v);
+            }
+            h
+        }
+
+        proptest! {
+            /// Merging two histograms keeps every percentile within the
+            /// bounds set by the parts: the merged quantile can never
+            /// escape `[min(pa, pb), max(pa, pb)]`.
+            #[test]
+            fn merge_preserves_percentile_bounds(
+                a in prop::collection::vec(0u64..1 << 40, 1..64),
+                b in prop::collection::vec(0u64..1 << 40, 1..64),
+                p in 0.01f64..1.0,
+            ) {
+                let (ha, hb) = (filled(&a), filled(&b));
+                let mut merged = ha.clone();
+                merged.merge(&hb);
+                let (pa, pb) = (ha.percentile(p), hb.percentile(p));
+                let pm = merged.percentile(p);
+                prop_assert!(pm >= pa.min(pb) && pm <= pa.max(pb),
+                    "p{p}: merged {pm} outside [{}, {}]", pa.min(pb), pa.max(pb));
+                prop_assert_eq!(merged.count(), ha.count() + hb.count());
+                prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
+                prop_assert!(pm <= Histogram::bucket_bounds(
+                    Histogram::bucket_index(merged.max())).1);
+            }
+        }
     }
 
     #[test]

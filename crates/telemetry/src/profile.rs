@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::json::{self, Value, Writer};
-use crate::metrics::IntervalSeries;
+use crate::metrics::{Histogram, IntervalSeries};
 use crate::Telemetry;
 
 /// Number of [`StallReason`] values (dense indices `0..NUM_STALL_REASONS`).
@@ -537,6 +537,19 @@ pub struct MemSummary {
     pub dram_accesses: u64,
     /// Misses merged into an already-in-flight MSHR fill.
     pub mshr_merges: u64,
+    /// Median fill latency (cycles, log2-bucket upper bound).
+    pub fill_p50: u64,
+    /// 95th-percentile fill latency (cycles, log2-bucket upper bound).
+    pub fill_p95: u64,
+    /// Maximum observed fill latency (cycles, exact).
+    pub fill_max: u64,
+    /// Σ occupied MSHR entries × cycles (device-wide time integral).
+    pub mshr_occupied_cycles: u64,
+    /// Cycles requests spent queued for a free MSHR entry.
+    pub mshr_wait_cycles: u64,
+    /// Cycles granted-ready requests waited purely for an L2/DRAM
+    /// bandwidth slot.
+    pub bw_starved_cycles: u64,
 }
 
 impl MemSummary {
@@ -550,12 +563,40 @@ impl MemSummary {
             1.0 - self.l1_misses as f64 / fresh as f64
         }
     }
+
+    /// Average MSHR entries occupied per cycle over a `cycles`-long run.
+    #[must_use]
+    pub fn avg_mshr_occupancy(&self, cycles: u64) -> f64 {
+        self.mshr_occupied_cycles as f64 / cycles.max(1) as f64
+    }
+}
+
+/// One memory-timeline interval of a captured [`KernelProfile`] (raw
+/// extensive sums over the interval, mirroring
+/// [`crate::MEM_SERIES_COLUMNS`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemPoint {
+    /// Cycle at the end of the interval.
+    pub cycle: u64,
+    /// Σ occupied MSHR entries × cycles over the interval.
+    pub mshr_occupied_cycles: u64,
+    /// Sum of per-SM peak MSHR occupancy over the interval.
+    pub mshr_peak: u64,
+    /// L2 requests (fresh L1 misses) during the interval.
+    pub l2_requests: u64,
+    /// DRAM line fills during the interval.
+    pub dram_requests: u64,
+    /// Bandwidth-slot wait cycles accrued during the interval.
+    pub bw_wait_cycles: u64,
 }
 
 /// A portable per-kernel profile snapshot: the nvprof-style report data,
 /// exportable to JSON and parseable back losslessly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
+    /// Profile document version ([`PROFILE_VERSION`] when written by
+    /// this build; 1 for documents predating the version field).
+    pub version: u32,
     /// Kernel (or run) label.
     pub kernel: String,
     /// Total kernel cycles.
@@ -570,7 +611,14 @@ pub struct KernelProfile {
     pub pcs: Vec<PcRow>,
     /// Occupancy timeline, interval order.
     pub occupancy: Vec<OccPoint>,
+    /// Memory timeline, interval order (empty in version-1 documents).
+    pub mem_timeline: Vec<MemPoint>,
 }
+
+/// Profile document version written by [`KernelProfile::to_json`].
+/// Version 2 added latency percentiles, MSHR occupancy totals, and the
+/// memory timeline; version-1 documents parse with those fields zeroed.
+pub const PROFILE_VERSION: u32 = 2;
 
 impl KernelProfile {
     /// Captures a profile from a finalized [`Telemetry`]. Pass the
@@ -617,8 +665,23 @@ impl KernelProfile {
                 total_slots: p.values[3] as u64,
             })
             .collect();
+        let mem_timeline = tele
+            .mem_series()
+            .points()
+            .iter()
+            .map(|p| MemPoint {
+                cycle: p.cycle,
+                mshr_occupied_cycles: p.values[0] as u64,
+                mshr_peak: p.values[1] as u64,
+                l2_requests: p.values[2] as u64,
+                dram_requests: p.values[3] as u64,
+                bw_wait_cycles: p.values[4] as u64,
+            })
+            .collect();
         let counter = |name: &str| tele.registry().counter_by_name(name).unwrap_or(0);
+        let fill = tele.registry().histogram_by_name("mem.fill_latency");
         KernelProfile {
+            version: PROFILE_VERSION,
             kernel: kernel.to_string(),
             cycles: tele.cycles(),
             warp_instructions: counter("sched.warp_instructions"),
@@ -628,10 +691,17 @@ impl KernelProfile {
                 l2_misses: counter("mem.l2_misses"),
                 dram_accesses: counter("mem.dram_accesses"),
                 mshr_merges: counter("mem.mshr_merges"),
+                fill_p50: fill.map_or(0, Histogram::p50),
+                fill_p95: fill.map_or(0, Histogram::p95),
+                fill_max: fill.map_or(0, Histogram::max),
+                mshr_occupied_cycles: tele.mem_occupied_cycles(),
+                mshr_wait_cycles: counter("mem.mshr_wait_cycles"),
+                bw_starved_cycles: counter("mem.bw_starved_cycles"),
             },
             sms: collector.sms().to_vec(),
             pcs,
             occupancy,
+            mem_timeline,
         }
     }
 
@@ -660,6 +730,7 @@ impl KernelProfile {
         let mut w = Writer::new();
         w.begin_object();
         w.field_u64("schema", 1);
+        w.field_u64("version", u64::from(self.version));
         w.field_str("kernel", &self.kernel);
         w.field_u64("cycles", self.cycles);
         w.field_u64("warp_instructions", self.warp_instructions);
@@ -670,6 +741,12 @@ impl KernelProfile {
         w.field_u64("l2_misses", self.mem.l2_misses);
         w.field_u64("dram_accesses", self.mem.dram_accesses);
         w.field_u64("mshr_merges", self.mem.mshr_merges);
+        w.field_u64("fill_p50", self.mem.fill_p50);
+        w.field_u64("fill_p95", self.mem.fill_p95);
+        w.field_u64("fill_max", self.mem.fill_max);
+        w.field_u64("mshr_occupied_cycles", self.mem.mshr_occupied_cycles);
+        w.field_u64("mshr_wait_cycles", self.mem.mshr_wait_cycles);
+        w.field_u64("bw_starved_cycles", self.mem.bw_starved_cycles);
         w.end_object();
         w.key("sms");
         w.begin_array();
@@ -710,6 +787,19 @@ impl KernelProfile {
             w.field_u64("eligible_cycles", p.eligible_cycles);
             w.field_u64("issued_slots", p.issued_slots);
             w.field_u64("total_slots", p.total_slots);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("mem_timeline");
+        w.begin_array();
+        for p in &self.mem_timeline {
+            w.begin_object();
+            w.field_u64("cycle", p.cycle);
+            w.field_u64("mshr_occupied_cycles", p.mshr_occupied_cycles);
+            w.field_u64("mshr_peak", p.mshr_peak);
+            w.field_u64("l2_requests", p.l2_requests);
+            w.field_u64("dram_requests", p.dram_requests);
+            w.field_u64("bw_wait_cycles", p.bw_wait_cycles);
             w.end_object();
         }
         w.end_array();
@@ -788,7 +878,9 @@ impl KernelProfile {
             });
         }
         // Absent in schema-1 documents written before the MSHR model;
-        // default to zeros for backward compatibility.
+        // default to zeros for backward compatibility. The version-2
+        // latency/occupancy fields likewise default to 0 when parsing a
+        // version-1 document.
         let mem = v.get("mem").map_or_else(MemSummary::default, |m| {
             let opt = |key: &str| m.get(key).and_then(Value::as_f64).map_or(0, |f| f as u64);
             MemSummary {
@@ -797,9 +889,35 @@ impl KernelProfile {
                 l2_misses: opt("l2_misses"),
                 dram_accesses: opt("dram_accesses"),
                 mshr_merges: opt("mshr_merges"),
+                fill_p50: opt("fill_p50"),
+                fill_p95: opt("fill_p95"),
+                fill_max: opt("fill_max"),
+                mshr_occupied_cycles: opt("mshr_occupied_cycles"),
+                mshr_wait_cycles: opt("mshr_wait_cycles"),
+                bw_starved_cycles: opt("bw_starved_cycles"),
             }
         });
+        // Documents written before the version field are version 1; the
+        // memory timeline only exists from version 2 on.
+        let version = v
+            .get("version")
+            .and_then(Value::as_f64)
+            .map_or(1, |f| f as u32);
+        let mut mem_timeline = Vec::new();
+        if let Some(rows) = v.get("mem_timeline").and_then(Value::as_array) {
+            for p in rows {
+                mem_timeline.push(MemPoint {
+                    cycle: u(p, "cycle")?,
+                    mshr_occupied_cycles: u(p, "mshr_occupied_cycles")?,
+                    mshr_peak: u(p, "mshr_peak")?,
+                    l2_requests: u(p, "l2_requests")?,
+                    dram_requests: u(p, "dram_requests")?,
+                    bw_wait_cycles: u(p, "bw_wait_cycles")?,
+                });
+            }
+        }
         Ok(KernelProfile {
+            version,
             kernel: v
                 .get("kernel")
                 .and_then(Value::as_str)
@@ -811,6 +929,7 @@ impl KernelProfile {
             sms,
             pcs,
             occupancy,
+            mem_timeline,
         })
     }
 
@@ -849,6 +968,21 @@ impl KernelProfile {
                 self.mem.mshr_merges,
                 self.mem.dram_accesses,
                 t.stalls[StallReason::MemThrottle.index()],
+            );
+        }
+        if self.mem.fill_max > 0 {
+            let _ = writeln!(
+                out,
+                "fill latency: p50 {}   p95 {}   max {} cycles   avg MSHR occupancy {:.2}",
+                self.mem.fill_p50,
+                self.mem.fill_p95,
+                self.mem.fill_max,
+                self.mem.avg_mshr_occupancy(self.cycles),
+            );
+            let _ = writeln!(
+                out,
+                "mem waits: {} MSHR-full cycles   {} bandwidth-starved cycles",
+                self.mem.mshr_wait_cycles, self.mem.bw_starved_cycles,
             );
         }
 
@@ -1042,6 +1176,7 @@ mod tests {
     #[test]
     fn profile_json_round_trips_losslessly() {
         let profile = KernelProfile {
+            version: PROFILE_VERSION,
             kernel: "probe \"x\"".into(),
             cycles: 1234,
             warp_instructions: 567,
@@ -1051,6 +1186,12 @@ mod tests {
                 l2_misses: 10,
                 dram_accesses: 10,
                 mshr_merges: 5,
+                fill_p50: 128,
+                fill_p95: 256,
+                fill_max: 300,
+                mshr_occupied_cycles: 4000,
+                mshr_wait_cycles: 77,
+                bw_starved_cycles: 33,
             },
             sms: vec![
                 SmProfile {
@@ -1096,6 +1237,14 @@ mod tests {
                 issued_slots: 500,
                 total_slots: 4096,
             }],
+            mem_timeline: vec![MemPoint {
+                cycle: 1024,
+                mshr_occupied_cycles: 2000,
+                mshr_peak: 6,
+                l2_requests: 20,
+                dram_requests: 10,
+                bw_wait_cycles: 33,
+            }],
         };
         let text = profile.to_json();
         let back = KernelProfile::from_json(&text).expect("parses back");
@@ -1105,17 +1254,35 @@ mod tests {
         // Fresh transactions = 100 - 5 merges; 20 missed.
         assert!((profile.mem.l1_hit_rate() - (1.0 - 20.0 / 95.0)).abs() < 1e-12);
 
-        // Documents written before the memory summary parse with zeroed
-        // totals instead of failing.
-        let legacy = text.replacen(
-            "\"mem\":{\"l1_accesses\":100,\"l1_misses\":20,\"l2_misses\":10,\
-             \"dram_accesses\":10,\"mshr_merges\":5},",
-            "",
-            1,
-        );
-        assert_ne!(legacy, text, "mem object was removed");
+        // Documents written before the memory summary / version field /
+        // memory timeline parse with zeroed totals instead of failing.
+        let legacy = text
+            .replacen(
+                "\"mem\":{\"l1_accesses\":100,\"l1_misses\":20,\"l2_misses\":10,\
+                 \"dram_accesses\":10,\"mshr_merges\":5,\"fill_p50\":128,\
+                 \"fill_p95\":256,\"fill_max\":300,\"mshr_occupied_cycles\":4000,\
+                 \"mshr_wait_cycles\":77,\"bw_starved_cycles\":33},",
+                "",
+                1,
+            )
+            .replacen("\"version\":2,", "", 1)
+            .replacen(
+                "\"mem_timeline\":[{\"cycle\":1024,\"mshr_occupied_cycles\":2000,\
+                 \"mshr_peak\":6,\"l2_requests\":20,\"dram_requests\":10,\
+                 \"bw_wait_cycles\":33}]",
+                "\"ignored\":0",
+                1,
+            );
+        assert_ne!(legacy, text, "legacy fields were removed");
+        assert!(!legacy.contains("mem_timeline"));
         let old = KernelProfile::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(old.version, 1, "absent version field reads as 1");
         assert_eq!(old.mem, MemSummary::default());
+        assert!(old.mem_timeline.is_empty());
+
+        // And a legacy document re-serialised round-trips its version.
+        let re = KernelProfile::from_json(&old.to_json()).expect("re-parses");
+        assert_eq!(re.version, old.version);
     }
 
     #[test]
@@ -1132,10 +1299,21 @@ mod tests {
         );
         c.snapshot(1);
         let profile = KernelProfile {
+            version: PROFILE_VERSION,
             kernel: "probe".into(),
             cycles: 1,
             warp_instructions: 2,
-            mem: MemSummary::default(),
+            mem: MemSummary {
+                l1_accesses: 8,
+                l1_misses: 2,
+                dram_accesses: 2,
+                fill_p50: 128,
+                fill_p95: 256,
+                fill_max: 140,
+                mshr_occupied_cycles: 3,
+                bw_starved_cycles: 5,
+                ..MemSummary::default()
+            },
             sms: c.sms().to_vec(),
             pcs: c
                 .pcs_sorted()
@@ -1156,6 +1334,7 @@ mod tests {
                 issued_slots: 2,
                 total_slots: 4,
             }],
+            mem_timeline: vec![],
         };
         let text = profile.render(5);
         for needle in [
@@ -1165,6 +1344,8 @@ mod tests {
             "occupancy",
             "hot PCs",
             "add.i64",
+            "fill latency: p50 128   p95 256   max 140",
+            "bandwidth-starved",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

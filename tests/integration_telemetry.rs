@@ -39,14 +39,36 @@ fn chrome_trace_parses_and_interval_series_is_nonempty() {
             .and_then(|p| p.as_str())
             .expect("every event has a phase");
         assert!(
-            matches!(ph, "M" | "X" | "i" | "C"),
+            matches!(ph, "M" | "X" | "i" | "C" | "b" | "n" | "e"),
             "unexpected phase {ph:?}"
         );
-        if ph != "M" {
+        // Async fill milestones ("n") and ends ("e") may land past the
+        // final cycle: a store's line fill can still be in flight when
+        // the last warp retires.
+        if !matches!(ph, "M" | "n" | "e") {
             let ts = e.get("ts").and_then(json::Value::as_f64).expect("ts");
             assert!(ts <= out.cycles as f64, "event past the end of the run");
         }
     }
+
+    // Request lifetimes ride along as async spans: every begin has a
+    // matching end on the same id, and the memory timeline's counter
+    // tracks are present.
+    let phase_count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+            .count()
+    };
+    assert!(phase_count("b") > 0, "run produces fill spans");
+    assert_eq!(phase_count("b"), phase_count("e"), "spans pair up");
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name").and_then(|n| n.as_str()) == Some("mem.mshr_occupied_cycles")
+        }),
+        "memory timeline exported as counter track"
+    );
 
     // Interval series: adder prediction accuracy over time, non-empty,
     // values in [0, 1].
