@@ -7,7 +7,8 @@
 //! cargo run --release --bin profile_report -- \
 //!     [--scale test|tiny|full] [--kernels <substring>] \
 //!     [--sim-threads <n>] [--out <dir>] \
-//!     [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>]
+//!     [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>] \
+//!     [--l2-partitions <n>] [--xbar-queue <n>]
 //! ```
 //!
 //! With `--out`, each kernel's profile is also written as
@@ -33,7 +34,7 @@ fn main() -> ExitCode {
     let args = BenchArgs::parse();
     if !args.rest.is_empty() {
         eprintln!("unexpected arguments: {:?}", args.rest);
-        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>] [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>]");
+        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>] [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>] [--l2-partitions <n>] [--xbar-queue <n>]");
         return ExitCode::FAILURE;
     }
     let cfg = args.gpu().with_st2();
@@ -128,6 +129,27 @@ fn main() -> ExitCode {
         );
     }
 
+    // Only meaningful when the run modelled a sharded L2: with one
+    // partition the crossbar is bypassed and every fill lands in bank 0.
+    if profiles.iter().any(|p| p.mem.partitions > 1) {
+        header("L2 partition balance");
+        println!(
+            "{:<14} {:>6} {:>11} {:>10} {:>24}",
+            "kernel", "parts", "imbalance", "xbar-wait", "fills/partition"
+        );
+        for p in &profiles {
+            let fills: Vec<String> = p.mem.part_fills.iter().map(u64::to_string).collect();
+            println!(
+                "{:<14} {:>6} {:>11.2} {:>10} {:>24}",
+                p.kernel,
+                p.mem.partitions,
+                p.mem.fill_imbalance(),
+                p.mem.xbar_wait_cycles,
+                format!("[{}]", fills.join(", ")),
+            );
+        }
+    }
+
     header("memory deep-dive (per-interval timeline)");
     for p in &profiles {
         render_memory_deep_dive(p, &cfg);
@@ -188,8 +210,8 @@ fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
     }
     println!("{}:", p.kernel);
     println!(
-        "  {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>8}",
-        "cycle", "mshr-avg", "mshr-pk", "L2-bw%", "dram-bw%", "bw-wait", "issue%"
+        "  {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "cycle", "mshr-avg", "mshr-pk", "L2-bw%", "dram-bw%", "bw-wait", "xbar-wait", "issue%"
     );
     const MAX_ROWS: usize = 16;
     let rows = p.mem_timeline.len();
@@ -203,13 +225,14 @@ fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
             100.0 * o.issued_slots as f64 / o.total_slots.max(1) as f64
         });
         println!(
-            "  {:>10} {:>9.2} {:>9} {:>8.1} {:>8.1} {:>9} {:>8.1}",
+            "  {:>10} {:>9.2} {:>9} {:>8.1} {:>8.1} {:>9} {:>9} {:>8.1}",
             m.cycle,
             m.mshr_occupied_cycles as f64 / dt,
             m.mshr_peak,
             100.0 * m.l2_requests as f64 / (f64::from(cfg.l2_bw) * dt),
             100.0 * m.dram_requests as f64 / (f64::from(cfg.dram_bw) * dt),
             m.bw_wait_cycles,
+            m.xbar_wait_cycles,
             issue,
         );
     }

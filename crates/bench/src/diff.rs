@@ -17,9 +17,10 @@ use st2::telemetry::profile::ALL_STALL_REASONS;
 
 /// Summary document version written by [`summary_to_json`]. Version 2
 /// added fill-latency percentiles, the bandwidth-starvation counter and
-/// the per-reason stall-share map; version-1 documents parse with those
-/// comparisons skipped.
-pub const SUMMARY_VERSION: u32 = 2;
+/// the per-reason stall-share map; version 3 added the crossbar-wait
+/// counter and the partition fill-imbalance ratio. Older documents parse
+/// with the newer comparisons skipped.
+pub const SUMMARY_VERSION: u32 = 3;
 
 /// One kernel's summary row. The `Option` fields only exist from
 /// version 2 on: `None` means "baseline predates the metric, skip the
@@ -52,6 +53,12 @@ pub struct KernelSummary {
     pub fill_max: Option<u64>,
     /// Cycles requests waited purely on L2/DRAM bandwidth (version ≥ 2).
     pub bw_starved_cycles: Option<u64>,
+    /// Cycles fills queued at a full crossbar injection port
+    /// (version ≥ 3).
+    pub xbar_wait_cycles: Option<u64>,
+    /// Busiest-partition fill count over the per-partition mean
+    /// (version ≥ 3; 0.0 when no fills).
+    pub fill_imbalance: Option<f64>,
     /// Per-reason stall shares (fraction of all issue slots, nonzero
     /// reasons only, reason-name order; version ≥ 2).
     pub stall_shares: Option<Vec<(String, f64)>>,
@@ -112,6 +119,8 @@ pub fn summary_from_profiles(profiles: &[KernelProfile], generator: &str) -> Sum
                 fill_p95: Some(p.mem.fill_p95),
                 fill_max: Some(p.mem.fill_max),
                 bw_starved_cycles: Some(p.mem.bw_starved_cycles),
+                xbar_wait_cycles: Some(p.mem.xbar_wait_cycles),
+                fill_imbalance: Some(round(p.mem.fill_imbalance(), 4)),
                 stall_shares: Some(shares),
             }
         })
@@ -155,6 +164,12 @@ pub fn summary_to_json(doc: &SummaryDoc) -> String {
         }
         if let Some(v) = k.bw_starved_cycles {
             w.field_u64("bw_starved_cycles", v);
+        }
+        if let Some(v) = k.xbar_wait_cycles {
+            w.field_u64("xbar_wait_cycles", v);
+        }
+        if let Some(v) = k.fill_imbalance {
+            w.field_f64("fill_imbalance", v);
         }
         if let Some(shares) = &k.stall_shares {
             w.key("stall_shares");
@@ -239,6 +254,8 @@ pub fn parse_summary(text: &str) -> Result<SummaryDoc, String> {
             fill_p95: opt_u("fill_p95"),
             fill_max: opt_u("fill_max"),
             bw_starved_cycles: opt_u("bw_starved_cycles"),
+            xbar_wait_cycles: opt_u("xbar_wait_cycles"),
+            fill_imbalance: k.get("fill_imbalance").and_then(Value::as_f64),
             stall_shares,
         });
     }
@@ -442,6 +459,8 @@ mod tests {
             fill_p95: Some(p95),
             fill_max: Some(p95 * 2),
             bw_starved_cycles: Some(17),
+            xbar_wait_cycles: Some(3),
+            fill_imbalance: Some(1.25),
             stall_shares: Some(vec![("mem_pending".into(), mem_share)]),
         }
     }
@@ -475,6 +494,8 @@ mod tests {
         let k = &d.kernels[0];
         assert_eq!(k.fill_p95, None);
         assert_eq!(k.stall_shares, None);
+        assert_eq!(k.xbar_wait_cycles, None);
+        assert_eq!(k.fill_imbalance, None);
         // Diffing a v2 candidate against it only compares IPC.
         let cand = doc(vec![row("sgemm", 0.65, 300, 0.5)]);
         let report = diff_summaries(&d, &cand, &DiffThresholds::default());
@@ -533,6 +554,9 @@ mod tests {
         };
         p.mem.fill_p95 = 256;
         p.mem.bw_starved_cycles = 9;
+        p.mem.xbar_wait_cycles = 4;
+        p.mem.partitions = 2;
+        p.mem.part_fills = vec![3, 1];
         p.sms[0].slots = 400;
         p.sms[0].issued = 250;
         p.sms[0].stalls[StallReason::MemPending.index()] = 150;
@@ -542,6 +566,9 @@ mod tests {
         assert_eq!(k.ipc, 2.5);
         assert_eq!(k.fill_p95, Some(256));
         assert_eq!(k.bw_starved_cycles, Some(9));
+        assert_eq!(k.xbar_wait_cycles, Some(4));
+        // Busiest partition filled 3 of 4 lines against a mean of 2.
+        assert_eq!(k.fill_imbalance, Some(1.5));
         let shares = k.stall_shares.as_ref().unwrap();
         assert_eq!(shares.len(), 1);
         assert!((shares[0].1 - 0.375).abs() < 1e-12);

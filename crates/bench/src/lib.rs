@@ -29,6 +29,9 @@ use st2::sim::ActivityCounters;
 /// * `--mshr-entries <n>` / `--l2-bw <n>` / `--dram-bw <n>` — memory
 ///   subsystem overrides for boundedness studies (defaults leave the
 ///   config untouched; see [`GpuConfig::with_mshr_entries`] etc.)
+/// * `--l2-partitions <n>` / `--xbar-queue <n>` — L2 partition count
+///   (power of two) and per-port crossbar queue depth overrides (see
+///   [`GpuConfig::with_l2_partitions`] / [`GpuConfig::with_xbar_queue`])
 ///
 /// Unrecognised tokens land in [`BenchArgs::rest`] for binaries with
 /// positional arguments (e.g. `trace_report <kernel> [out_dir]`).
@@ -48,6 +51,10 @@ pub struct BenchArgs {
     pub l2_bw: Option<u32>,
     /// DRAM requests-per-cycle override (`--dram-bw`).
     pub dram_bw: Option<u32>,
+    /// L2 partition-count override (`--l2-partitions`).
+    pub l2_partitions: Option<u32>,
+    /// Crossbar injection-queue depth override (`--xbar-queue`).
+    pub xbar_queue: Option<u32>,
     /// Everything not consumed by a flag, in order.
     pub rest: Vec<String>,
 }
@@ -96,7 +103,7 @@ impl BenchArgs {
                             panic!("--sim-threads must be an integer, got {v:?}")
                         }));
                 }
-                "--mshr-entries" | "--l2-bw" | "--dram-bw" => {
+                "--mshr-entries" | "--l2-bw" | "--dram-bw" | "--l2-partitions" | "--xbar-queue" => {
                     let v = value(&tok);
                     let n = v
                         .parse()
@@ -104,6 +111,8 @@ impl BenchArgs {
                     match tok.as_str() {
                         "--mshr-entries" => args.mshr_entries = Some(n),
                         "--l2-bw" => args.l2_bw = Some(n),
+                        "--l2-partitions" => args.l2_partitions = Some(n),
+                        "--xbar-queue" => args.xbar_queue = Some(n),
                         _ => args.dram_bw = Some(n),
                     }
                 }
@@ -135,6 +144,12 @@ impl BenchArgs {
         }
         if let Some(n) = self.dram_bw {
             cfg = cfg.with_dram_bw(n);
+        }
+        if let Some(n) = self.l2_partitions {
+            cfg = cfg.with_l2_partitions(n);
+        }
+        if let Some(n) = self.xbar_queue {
+            cfg = cfg.with_xbar_queue(n);
         }
         cfg
     }
@@ -357,6 +372,10 @@ mod tests {
             "3",
             "--dram-bw",
             "1",
+            "--l2-partitions",
+            "2",
+            "--xbar-queue",
+            "4",
         ];
         let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
         assert_eq!(args.scale, Scale::Test);
@@ -369,6 +388,8 @@ mod tests {
         assert_eq!(gpu.mshr_entries, 4);
         assert_eq!(gpu.l2_bw, 3);
         assert_eq!(gpu.dram_bw, 1);
+        assert_eq!(gpu.l2_partitions, 2);
+        assert_eq!(gpu.xbar_queue, 4);
         assert!(args.matches("pathfinder"));
         assert!(!args.matches("histogram"));
     }
@@ -380,6 +401,7 @@ mod tests {
         assert_eq!(args.scale, Scale::Full);
         assert!(args.out.is_none() && args.kernels.is_none() && args.sim_threads.is_none());
         assert!(args.mshr_entries.is_none() && args.l2_bw.is_none() && args.dram_bw.is_none());
+        assert!(args.l2_partitions.is_none() && args.xbar_queue.is_none());
         assert_eq!(args.rest, vec!["pathfinder", "out_dir"]);
         assert_eq!(
             args.gpu(),

@@ -89,6 +89,16 @@ pub struct GpuConfig {
     /// Line fills DRAM services per cycle, chip-wide (an abstraction of
     /// the HBM2 channel count over the core clock).
     pub dram_bw: u32,
+    /// Independent L2 partitions (address-sliced banks behind the
+    /// SM↔partition crossbar). Must be a power of two; lines are routed
+    /// by an XOR-folded hash of the line address. `1` models the legacy
+    /// monolithic L2 with no crossbar and is bit-identical to it.
+    pub l2_partitions: u32,
+    /// Per-(SM, partition) crossbar injection-port depth: coalesced
+    /// requests an SM may have queued toward one partition before
+    /// further requests stall at the port. Only modeled when
+    /// `l2_partitions > 1` (a monolithic L2 has no crossbar).
+    pub xbar_queue: u32,
 
     /// Core clock (GHz) — converts cycles to seconds for power.
     pub clock_ghz: f64,
@@ -142,6 +152,8 @@ impl GpuConfig {
             mshr_entries: 64,
             l2_bw: 16,
             dram_bw: 6,
+            l2_partitions: 4,
+            xbar_queue: 8,
             clock_ghz: 1.2,
             scheduler: SchedulerKind::Gto,
             speculation: None,
@@ -150,19 +162,24 @@ impl GpuConfig {
     }
 
     /// A scaled-down simulation target (`sms` SMs, same per-SM shape,
-    /// proportional L2 capacity and L2/DRAM bandwidth). Bandwidth floors
-    /// keep small configurations latency-dominated rather than
-    /// pathologically serialised, while still leaving headroom for
-    /// `with_dram_bw(1)`-style stress studies.
+    /// proportional L2 capacity, L2/DRAM bandwidth and partition count).
+    /// Bandwidth floors keep small configurations latency-dominated
+    /// rather than pathologically serialised, while still leaving
+    /// headroom for `with_dram_bw(1)`-style stress studies. The
+    /// partition count scales with the SM count and is rounded down to a
+    /// power of two; small harness configurations get one partition
+    /// (the legacy monolithic L2).
     #[must_use]
     pub fn scaled(sms: u32) -> Self {
         let full = Self::titan_v();
         let sms = sms.max(1);
+        let partitions = (full.l2_partitions * sms / 80).max(1);
         GpuConfig {
             num_sms: sms,
             l2_bytes: (full.l2_bytes * u64::from(sms) / 80).max(64 * 1024),
             l2_bw: (full.l2_bw * sms / 80).max(4),
             dram_bw: (full.dram_bw * sms / 80).max(2),
+            l2_partitions: 1 << partitions.ilog2(),
             ..full
         }
     }
@@ -227,13 +244,34 @@ impl GpuConfig {
         self
     }
 
+    /// Sets the L2 partition count (address-sliced banks behind the
+    /// crossbar). Must be a power of two — checked by
+    /// [`GpuConfig::validate`], not clamped here, so typos surface as
+    /// errors instead of silently running a different geometry.
+    #[must_use]
+    pub fn with_l2_partitions(mut self, partitions: u32) -> Self {
+        self.l2_partitions = partitions;
+        self
+    }
+
+    /// Sets the per-(SM, partition) crossbar injection-port depth.
+    #[must_use]
+    pub fn with_xbar_queue(mut self, depth: u32) -> Self {
+        self.xbar_queue = depth;
+        self
+    }
+
     /// Checks cross-field invariants the timed engine depends on.
     ///
     /// # Errors
     ///
     /// Returns a message when the L1 and L2 line sizes differ (the
-    /// hierarchy tags both levels at one granularity) or a line size is
-    /// not a positive power of two.
+    /// hierarchy tags both levels at one granularity), a line size is
+    /// not a positive power of two, `l2_partitions` is zero or not a
+    /// power of two (the address decoder folds the line address into
+    /// `log2(partitions)` bits), the crossbar queue depth is zero, or
+    /// `l2_bw < l2_partitions` (each partition needs at least one L2
+    /// request slot per cycle).
     pub fn validate(&self) -> Result<(), String> {
         if self.l1_line != self.l2_line {
             return Err(format!(
@@ -245,6 +283,21 @@ impl GpuConfig {
             return Err(format!(
                 "cache line size must be a positive power of two, got {}",
                 self.l1_line
+            ));
+        }
+        if self.l2_partitions == 0 || !self.l2_partitions.is_power_of_two() {
+            return Err(format!(
+                "l2_partitions must be a positive power of two, got {}",
+                self.l2_partitions
+            ));
+        }
+        if self.xbar_queue == 0 {
+            return Err("xbar_queue must be at least 1".to_string());
+        }
+        if self.l2_bw < self.l2_partitions {
+            return Err(format!(
+                "l2_bw ({}) must be at least l2_partitions ({}): every partition needs an L2 slot per cycle",
+                self.l2_bw, self.l2_partitions
             ));
         }
         Ok(())
@@ -340,5 +393,42 @@ mod tests {
     fn st2_toggle() {
         let c = GpuConfig::scaled(2).with_st2();
         assert_eq!(c.speculation, Some(SpeculationConfig::st2()));
+    }
+
+    #[test]
+    fn partition_knobs_scale_and_validate() {
+        let full = GpuConfig::titan_v();
+        assert_eq!(full.l2_partitions, 4);
+        assert_eq!(full.xbar_queue, 8);
+        assert!(full.validate().is_ok());
+        // The small harness config stays monolithic (partitions = 1), so
+        // default runs keep the legacy single-L2 timing.
+        let small = GpuConfig::scaled(4);
+        assert_eq!(small.l2_partitions, 1);
+        assert!(small.validate().is_ok());
+        // Scaling always lands on a power of two.
+        for sms in [1, 4, 20, 40, 60, 80, 160] {
+            let c = GpuConfig::scaled(sms);
+            assert!(c.l2_partitions.is_power_of_two(), "sms={sms}");
+            assert!(c.validate().is_ok(), "sms={sms}");
+        }
+
+        // Validation rejects the degenerate geometries.
+        assert!(small.with_l2_partitions(0).validate().is_err());
+        assert!(
+            small.with_l2_partitions(3).validate().is_err(),
+            "non-power-of-two partition count accepted"
+        );
+        assert!(small.with_xbar_queue(0).validate().is_err());
+        assert!(
+            small
+                .with_l2_partitions(4)
+                .with_l2_bw(2)
+                .validate()
+                .is_err(),
+            "l2_bw below the partition count accepted"
+        );
+        assert!(small.with_l2_partitions(4).validate().is_ok());
+        assert_eq!(small.with_xbar_queue(3).xbar_queue, 3);
     }
 }

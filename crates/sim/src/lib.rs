@@ -22,15 +22,18 @@
 //! core (scheduler, scoreboard, pipes, ST² speculation) that talks to the
 //! outside world only through [`gmem::GlobalMem`] and
 //! [`memory::MemInterface`]; [`timed`] is the driver that owns block
-//! dispatch, the shared [`memory::MemoryHierarchy`], and the global
-//! clock. Because cores queue their memory transactions and the driver
-//! drains them in SM-index order each cycle, the driver can step cores on
-//! worker threads ([`GpuConfig::sim_threads`]) with **bit-identical**
-//! results to the serial path.
+//! dispatch, the shared [`memory::MemoryHierarchy`] (sharded into
+//! [`memory::Partition`] banks by [`addrdec::AddressDecoder`]), and the
+//! global clock. Because cores queue their memory transactions and the
+//! driver routes them in SM-index order and drains partitions in
+//! partition-index order each cycle, the driver can step cores — and
+//! drain partitions — on worker threads ([`GpuConfig::sim_threads`])
+//! with **bit-identical** results to the serial path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod addrdec;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -42,6 +45,7 @@ pub mod stats;
 pub mod timed;
 pub mod trace;
 
+pub use addrdec::AddressDecoder;
 pub use config::{GpuConfig, SchedulerKind};
 pub use engine::{
     run_functional, run_functional_with, run_functional_with_telemetry, FunctionalOptions,

@@ -1,6 +1,6 @@
-//! Memory hierarchy: per-SM L1 caches fronted by MSHR files, a shared L2
-//! and DRAM behind finite per-cycle request bandwidth, and the warp
-//! coalescer.
+//! Memory hierarchy: per-SM L1 caches fronted by MSHR files, an
+//! address-sliced partitioned L2 behind an SM↔partition crossbar, DRAM
+//! behind finite per-cycle request bandwidth, and the warp coalescer.
 //!
 //! Unlike a latency oracle, the hierarchy is *stateful in time*: every
 //! L1 miss allocates a miss-status holding register (MSHR) that tracks
@@ -11,13 +11,25 @@
 //! A full MSHR file back-pressures the LDST pipe
 //! ([`st2_telemetry::StallReason::MemThrottle`] in the profiler).
 //!
-//! All methods that mutate shared state ([`MemoryHierarchy::access`],
-//! [`MemoryHierarchy::retire_fills`]) are called only from the drivers'
-//! single-threaded drain phase, in SM-index order, which is what keeps
-//! serial and parallel timed runs bit-identical.
+//! The hierarchy is sharded into [`GpuConfig::l2_partitions`]
+//! independent [`Partition`]s selected by an
+//! [`crate::addrdec::AddressDecoder`] (XOR-folded line-address hash).
+//! Each partition owns an address slice of every structure a request
+//! touches after decode — per-SM L1 bank and MSHR file slices, an L2
+//! bank, its own L2/DRAM bandwidth arbiters, and per-SM crossbar
+//! injection ports — so two requests routed to different partitions
+//! share **no** mutable state. That disjointness is what lets the
+//! drivers drain partitions concurrently ([`Partition::access`] is
+//! pure per-partition work) while the per-SM completion phase
+//! ([`crate::sm::SmCore::complete_memory`]) replays counter and
+//! telemetry updates in deterministic (SM-index, issue) order. With
+//! one partition, the model degenerates to the legacy monolithic L2:
+//! same geometry, no crossbar, bit-identical timing.
 
+use crate::addrdec::AddressDecoder;
 use crate::config::GpuConfig;
 use crate::stats::ActivityCounters;
+use std::collections::VecDeque;
 
 /// A set-associative cache with true-LRU replacement.
 #[derive(Debug, Clone)]
@@ -192,28 +204,92 @@ impl BwSlots {
     }
 }
 
-/// L1s + MSHR files + L2 + DRAM with latency, bandwidth and occupancy
-/// accounting.
+/// One SM's bounded injection port into one partition's request lane.
+///
+/// The port holds at most `depth` requests between their arrival and
+/// their L2 slot grant. When a request arrives with the port full, it
+/// is admitted only when the oldest occupant's grant frees a slot — the
+/// crossbar queue wait the telemetry attributes as `xbar_wait`. The
+/// grant deque is sorted ascending because per-partition
+/// [`BwSlots::reserve`] grants are monotone.
+#[derive(Debug, Clone, Default)]
+struct XbarPort {
+    grants: VecDeque<u64>,
+}
+
+impl XbarPort {
+    /// Admits a request arriving at `at`; returns `(admit_cycle, wait)`.
+    fn admit(&mut self, at: u64, depth: u32) -> (u64, u64) {
+        while self.grants.front().is_some_and(|&g| g <= at) {
+            self.grants.pop_front();
+        }
+        if self.grants.len() >= depth.max(1) as usize {
+            let admit = self
+                .grants
+                .pop_front()
+                .expect("port occupancy checked above");
+            (admit, admit - at)
+        } else {
+            (at, 0)
+        }
+    }
+
+    /// Records the admitted request's L2 grant cycle (it occupies the
+    /// port until then).
+    fn granted(&mut self, l2_at: u64) {
+        self.grants.push_back(l2_at);
+    }
+}
+
+/// One address slice of the memory subsystem: the per-SM L1 bank and
+/// MSHR file slices for the lines this partition serves, an L2 bank,
+/// private L2/DRAM bandwidth arbiters, and the per-SM crossbar
+/// injection ports. Partitions share no mutable state, so the drivers
+/// may drain different partitions concurrently.
 #[derive(Debug, Clone)]
-pub struct MemoryHierarchy {
+pub struct Partition {
     l1s: Vec<Cache>,
     l2: Cache,
     mshrs: Vec<MshrFile>,
+    ports: Vec<XbarPort>,
     l2_slots: BwSlots,
     dram_slots: BwSlots,
+    line: u64,
     l1_latency: u32,
     l2_latency: u32,
     dram_latency: u32,
     l2_bw: u32,
     dram_bw: u32,
+    xbar_depth: u32,
+    /// Crossbar port queueing is modeled only with 2+ partitions: a
+    /// monolithic L2 has no crossbar, and skipping the port keeps the
+    /// single-partition model bit-identical to the legacy hierarchy.
+    xbar_modeled: bool,
+}
+
+/// L1s + MSHR files + partitioned L2 + DRAM with latency, bandwidth and
+/// occupancy accounting. A thin owner around the [`Partition`] slices
+/// plus the address decoder that routes between them; the parallel
+/// driver takes the partitions out ([`MemoryHierarchy::into_partitions`])
+/// to put each behind its own lock.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    parts: Vec<Partition>,
+    decoder: AddressDecoder,
+    line: u64,
 }
 
 /// Result of one coalesced transaction, carrying the request's
-/// lifecycle stamps: how long it waited for an MSHR entry, an L2
-/// request slot and a DRAM request slot before its fill could start.
-/// The stage waits are zero for L1 hits and merges (neither allocates
-/// a new fill).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// lifecycle stamps: how long it waited for an MSHR entry, a crossbar
+/// port slot, an L2 request slot and a DRAM request slot before its
+/// fill could start. The stage waits are zero for L1 hits and merges
+/// (neither allocates a new fill). Every counter a transaction implies
+/// is reconstructible from this record
+/// ([`apply_access_counters`]), which is what lets partitions compute
+/// results concurrently and the per-SM completion phase apply the
+/// counters deterministically afterwards. (`Default` exists only as
+/// the routing placeholder in [`Completion`].)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessResult {
     /// Absolute cycle the result is available to the issuing warp.
     pub ready_at: u64,
@@ -226,11 +302,18 @@ pub struct AccessResult {
     /// Merged into an already-in-flight MSHR line fill (no new L2/DRAM
     /// traffic was generated).
     pub merged: bool,
+    /// The request arrived at a full MSHR file (a back-pressure event;
+    /// implies `mshr_wait > 0` whenever retirement ran first).
+    pub mshr_full: bool,
     /// Cycles the request waited for a free MSHR entry before it could
     /// even start (request cycle → MSHR allocate).
     pub mshr_wait: u64,
-    /// Cycles the started request queued for an L2 request slot
-    /// (MSHR allocate → L2 slot grant).
+    /// Cycles the started request queued at its crossbar injection port
+    /// before the partition accepted it (MSHR allocate → port admit).
+    /// Always zero with one partition (no crossbar).
+    pub xbar_wait: u64,
+    /// Cycles the admitted request queued for an L2 request slot
+    /// (port admit → L2 slot grant).
     pub l2_wait: u64,
     /// Cycles the L2 miss queued for a DRAM request slot
     /// (L2 slot grant → DRAM slot grant). Zero on L2 hits.
@@ -262,73 +345,97 @@ impl AccessResult {
 
     /// Total cycles the fill spent queued for bandwidth slots
     /// (L2 + DRAM), i.e. the wait attributable purely to finite
-    /// request bandwidth rather than MSHR capacity or service latency.
+    /// request bandwidth rather than crossbar ports, MSHR capacity or
+    /// service latency.
     #[must_use]
     pub fn bw_wait(&self) -> u64 {
         self.l2_wait + self.dram_wait
     }
 }
 
-impl MemoryHierarchy {
-    /// Builds the hierarchy for a GPU configuration.
+/// One SM's view of its MSHR slice in one partition: free entries,
+/// earliest in-flight fill, and current occupancy. The drivers snapshot
+/// one per partition after the drain and hand the slice to
+/// [`crate::sm::SmCore::complete_memory`], which refreshes the core's
+/// per-partition credit mirror and wake hint from it.
+#[derive(Debug, Clone, Copy)]
+pub struct MshrView {
+    /// Free MSHR entries in this (SM, partition) slice.
+    pub free: u32,
+    /// Earliest in-flight fill time (`u64::MAX` when empty).
+    pub earliest: u64,
+    /// Occupied entries (in-flight line fills).
+    pub occupied: u32,
+}
+
+impl Partition {
+    /// Builds the `cfg.l2_partitions` partitions for a configuration.
+    /// Capacities and bandwidths are address slices of the configured
+    /// totals: L1/L2 bytes and MSHR entries divide evenly, and the L2 /
+    /// DRAM per-cycle request budgets split with the remainder spread
+    /// over the lowest-indexed partitions. Every partition keeps at
+    /// least one MSHR entry and one DRAM slot per cycle so no slice can
+    /// deadlock ([`GpuConfig::validate`] already guarantees
+    /// `l2_bw >= l2_partitions`).
     ///
     /// # Panics
     ///
     /// Panics when `cfg.l1_line != cfg.l2_line` (mixed-granularity
     /// tagging is not supported — see [`GpuConfig::validate`]).
     #[must_use]
-    pub fn new(cfg: &GpuConfig) -> Self {
+    pub fn build_all(cfg: &GpuConfig) -> Vec<Partition> {
         assert_eq!(cfg.l1_line, cfg.l2_line, "L1 and L2 line sizes must match");
-        MemoryHierarchy {
-            l1s: (0..cfg.num_sms)
-                .map(|_| Cache::new(cfg.l1_bytes, cfg.l1_line, cfg.l1_assoc))
-                .collect(),
-            l2: Cache::new(cfg.l2_bytes, cfg.l2_line, cfg.l2_assoc),
-            mshrs: (0..cfg.num_sms)
-                .map(|_| MshrFile::new(cfg.mshr_entries))
-                .collect(),
-            l2_slots: BwSlots::default(),
-            dram_slots: BwSlots::default(),
-            l1_latency: cfg.l1_latency,
-            l2_latency: cfg.l2_latency,
-            dram_latency: cfg.dram_latency,
-            l2_bw: cfg.l2_bw,
-            dram_bw: cfg.dram_bw,
-        }
+        let parts = cfg.l2_partitions.max(1);
+        let p64 = u64::from(parts);
+        (0..parts)
+            .map(|i| Partition {
+                l1s: (0..cfg.num_sms)
+                    .map(|_| Cache::new(cfg.l1_bytes / p64, cfg.l1_line, cfg.l1_assoc))
+                    .collect(),
+                l2: Cache::new(cfg.l2_bytes / p64, cfg.l2_line, cfg.l2_assoc),
+                mshrs: (0..cfg.num_sms)
+                    .map(|_| MshrFile::new((cfg.mshr_entries / parts).max(1)))
+                    .collect(),
+                ports: vec![XbarPort::default(); cfg.num_sms as usize],
+                l2_slots: BwSlots::default(),
+                dram_slots: BwSlots::default(),
+                line: cfg.l1_line,
+                l1_latency: cfg.l1_latency,
+                l2_latency: cfg.l2_latency,
+                dram_latency: cfg.dram_latency,
+                l2_bw: cfg.l2_bw / parts + u32::from(i < cfg.l2_bw % parts),
+                dram_bw: (cfg.dram_bw / parts + u32::from(i < cfg.dram_bw % parts)).max(1),
+                xbar_depth: cfg.xbar_queue,
+                xbar_modeled: parts > 1,
+            })
+            .collect()
     }
 
-    /// One coalesced global-memory transaction from SM `sm` touching the
-    /// line containing `addr` at cycle `now`, with counter updates.
-    /// Loads and stores take the same path: stores are write-allocate
-    /// and consume MSHR entries and bandwidth like fills (they just
-    /// never block the issuing warp — the caller ignores their
-    /// `ready_at`).
+    /// One coalesced transaction from SM `sm` touching the line
+    /// containing `addr` (already routed to this partition) at cycle
+    /// `now`. Loads and stores take the same path: stores are
+    /// write-allocate and consume MSHR entries and bandwidth like fills
+    /// (they just never block the issuing warp — the caller ignores
+    /// their `ready_at`).
     ///
     /// The in-flight check runs *before* the L1 probe: the L1 tag is
     /// allocated eagerly at primary-miss time, so a tag hit on a line
     /// whose fill is still outstanding is a merge, not a hit.
-    pub fn access(
-        &mut self,
-        sm: usize,
-        addr: u64,
-        now: u64,
-        act: &mut ActivityCounters,
-    ) -> AccessResult {
-        act.l1_accesses += 1;
-        let line_id = addr / self.l1s[sm].line();
+    ///
+    /// Touches only this partition's state and performs **no** counter
+    /// or telemetry updates — those are reconstructed from the returned
+    /// [`AccessResult`] by [`apply_access_counters`] in the per-SM
+    /// completion phase, so partition drains can run concurrently.
+    pub fn access(&mut self, sm: usize, addr: u64, now: u64) -> AccessResult {
+        let line_id = addr / self.line;
         if let Some(fill) = self.mshrs[sm].find(line_id, now) {
-            act.mshr_merges += 1;
             let _ = self.l1s[sm].access(addr); // LRU touch only
             let ready_at = fill.max(now + u64::from(self.l1_latency));
             return AccessResult {
                 ready_at,
                 latency: saturate(ready_at - now),
-                l1_hit: false,
-                l2_hit: false,
                 merged: true,
-                mshr_wait: 0,
-                l2_wait: 0,
-                dram_wait: 0,
+                ..AccessResult::default()
             };
         }
         if self.l1s[sm].access(addr) {
@@ -336,33 +443,31 @@ impl MemoryHierarchy {
                 ready_at: now + u64::from(self.l1_latency),
                 latency: self.l1_latency,
                 l1_hit: true,
-                l2_hit: false,
-                merged: false,
-                mshr_wait: 0,
-                l2_wait: 0,
-                dram_wait: 0,
+                ..AccessResult::default()
             };
         }
-        act.l1_misses += 1;
-        act.l2_accesses += 1;
-        // Request + line-fill response over the NoC: 1 request flit plus
-        // line/32-byte response flits.
-        act.noc_flits += 1 + self.l1s[sm].line() / 32;
         // MSHR allocation. A full file back-pressures: the request
         // cannot even start until the earliest outstanding fill frees
         // its entry.
-        let start = if self.mshrs[sm].is_full() {
-            act.mem_throttle += 1;
-            self.mshrs[sm].evict_earliest().max(now)
+        let (mshr_full, start) = if self.mshrs[sm].is_full() {
+            (true, self.mshrs[sm].evict_earliest().max(now))
         } else {
-            now
+            (false, now)
         };
-        let l2_at = self.l2_slots.reserve(start, self.l2_bw);
+        // Crossbar injection port (2+ partitions only): a full port
+        // delays admission until its oldest occupant's grant.
+        let (admit, xbar_wait) = if self.xbar_modeled {
+            self.ports[sm].admit(start, self.xbar_depth)
+        } else {
+            (start, 0)
+        };
+        let l2_at = self.l2_slots.reserve(admit, self.l2_bw);
+        if self.xbar_modeled {
+            self.ports[sm].granted(l2_at);
+        }
         let (ready_at, l2_hit, dram_wait) = if self.l2.access(addr) {
             (l2_at + u64::from(self.l2_latency), true, 0)
         } else {
-            act.l2_misses += 1;
-            act.dram_accesses += 1;
             let dram_at = self.dram_slots.reserve(l2_at, self.dram_bw);
             (
                 dram_at + u64::from(self.dram_latency),
@@ -371,48 +476,274 @@ impl MemoryHierarchy {
             )
         };
         self.mshrs[sm].allocate(line_id, ready_at);
-        let l2_wait = l2_at - start;
-        // Cycles the request spent queued purely for a bandwidth slot
-        // (it already held or was granted an MSHR entry).
-        act.bw_starved_cycles += l2_wait + dram_wait;
         AccessResult {
             ready_at,
             latency: saturate(ready_at - now),
             l1_hit: false,
             l2_hit,
             merged: false,
+            mshr_full,
             mshr_wait: start - now,
-            l2_wait,
+            xbar_wait,
+            l2_wait: l2_at - admit,
             dram_wait,
         }
     }
 
-    /// Retires SM `sm`'s MSHR entries whose fills have landed by `now`.
-    /// The drivers call this at the start of each drain so the cycle's
-    /// requests see the post-retirement file state.
+    /// Retires SM `sm`'s MSHR entries in this partition whose fills
+    /// have landed by `now`. The drivers call this for every partition
+    /// at the start of each drain, before any access, so the cycle's
+    /// requests see the post-retirement files.
     pub fn retire_fills(&mut self, sm: usize, now: u64) {
         self.mshrs[sm].retire(now);
     }
 
-    /// SM `sm`'s MSHR file state: `(free entries, earliest in-flight
-    /// fill time)`. The core mirrors this into its issue gate
-    /// (`MemThrottle`) and its wake hint.
+    /// SM `sm`'s MSHR slice state in this partition.
     #[must_use]
-    pub fn mshr_state(&self, sm: usize) -> (u32, u64) {
-        (self.mshrs[sm].free(), self.mshrs[sm].earliest())
+    pub fn mshr_view(&self, sm: usize) -> MshrView {
+        MshrView {
+            free: self.mshrs[sm].free(),
+            earliest: self.mshrs[sm].earliest(),
+            occupied: self.mshrs[sm].entries.len() as u32,
+        }
+    }
+}
+
+/// Replays the counter updates one transaction implies onto `act`.
+/// Reconstructs exactly what the pre-partitioning
+/// `MemoryHierarchy::access` charged inline: an L1 access always; a
+/// merge; or a fresh fill's miss/NoC/queue-wait/backpressure counters,
+/// with L2 misses also charging DRAM. `line` is the L1 line size (NoC
+/// response flits are `line/32`).
+pub fn apply_access_counters(act: &mut ActivityCounters, r: &AccessResult, line: u64) {
+    act.l1_accesses += 1;
+    if r.merged {
+        act.mshr_merges += 1;
+    }
+    if r.is_fill() {
+        act.l1_misses += 1;
+        act.l2_accesses += 1;
+        // Request + line-fill response over the NoC: 1 request flit
+        // plus line/32-byte response flits.
+        act.noc_flits += 1 + line / 32;
+        if r.mshr_full {
+            act.mem_throttle += 1;
+        }
+        // Cycles the request spent queued purely for a bandwidth slot
+        // (it already held or was granted an MSHR entry); the crossbar
+        // port wait is attributed separately.
+        act.bw_starved_cycles += r.l2_wait + r.dram_wait;
+        act.xbar_wait_cycles += r.xbar_wait;
+        if !r.l2_hit {
+            act.l2_misses += 1;
+            act.dram_accesses += 1;
+        }
+    }
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for a GPU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.l1_line != cfg.l2_line` or the line size /
+    /// partition count is not a power of two (see
+    /// [`GpuConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: &GpuConfig) -> Self {
+        MemoryHierarchy {
+            parts: Partition::build_all(cfg),
+            decoder: AddressDecoder::new(cfg.l1_line, cfg.l2_partitions.max(1)),
+            line: cfg.l1_line,
+        }
     }
 
-    /// SM `sm`'s occupied MSHR entries (in-flight line fills). Feeds
-    /// the telemetry occupancy timeline at drain time.
+    /// The partition count.
+    #[must_use]
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The address decoder routing lines to partitions (cheap copy).
+    #[must_use]
+    pub fn decoder(&self) -> AddressDecoder {
+        self.decoder
+    }
+
+    /// Mutable access to partition `p` (the serial driver's
+    /// partition-index-order drain).
+    pub fn partition_mut(&mut self, p: usize) -> &mut Partition {
+        &mut self.parts[p]
+    }
+
+    /// Takes the partitions out of the hierarchy so the parallel driver
+    /// can put each behind its own lock and drain them concurrently.
+    #[must_use]
+    pub fn into_partitions(self) -> Vec<Partition> {
+        self.parts
+    }
+
+    /// One coalesced global-memory transaction from SM `sm` touching the
+    /// line containing `addr` at cycle `now`, with counter updates:
+    /// routes through the address decoder, accesses the partition, and
+    /// applies the implied counters. The single-structure convenience
+    /// path (unit tests, single-SM tools); the drivers instead route,
+    /// drain and complete in separate phases.
+    pub fn access(
+        &mut self,
+        sm: usize,
+        addr: u64,
+        now: u64,
+        act: &mut ActivityCounters,
+    ) -> AccessResult {
+        let p = self.decoder.decode(addr);
+        let r = self.parts[p].access(sm, addr, now);
+        apply_access_counters(act, &r, self.line);
+        r
+    }
+
+    /// Retires SM `sm`'s MSHR entries (every partition slice) whose
+    /// fills have landed by `now`.
+    pub fn retire_fills(&mut self, sm: usize, now: u64) {
+        for part in &mut self.parts {
+            part.retire_fills(sm, now);
+        }
+    }
+
+    /// SM `sm`'s aggregate MSHR file state across partitions: `(total
+    /// free entries, earliest in-flight fill time)`.
+    #[must_use]
+    pub fn mshr_state(&self, sm: usize) -> (u32, u64) {
+        let free = self.parts.iter().map(|p| p.mshrs[sm].free()).sum();
+        let earliest = self
+            .parts
+            .iter()
+            .map(|p| p.mshrs[sm].earliest())
+            .min()
+            .unwrap_or(u64::MAX);
+        (free, earliest)
+    }
+
+    /// SM `sm`'s per-partition MSHR views, appended to `out` in
+    /// partition-index order (`out` is cleared first; reused buffer).
+    pub fn mshr_views(&self, sm: usize, out: &mut Vec<MshrView>) {
+        out.clear();
+        out.extend(self.parts.iter().map(|p| p.mshr_view(sm)));
+    }
+
+    /// SM `sm`'s occupied MSHR entries (in-flight line fills) summed
+    /// across partitions. Feeds the telemetry occupancy timeline at
+    /// drain time.
     #[must_use]
     pub fn mshr_occupied(&self, sm: usize) -> u32 {
-        self.mshrs[sm].entries.len() as u32
+        self.parts
+            .iter()
+            .map(|p| p.mshrs[sm].entries.len() as u32)
+            .sum()
     }
 
     /// L1 line size.
     #[must_use]
     pub fn line(&self) -> u64 {
-        self.l1s.first().map_or(self.l2.line(), Cache::line)
+        self.line
+    }
+}
+
+/// One request routed to a partition lane: which SM sent it and the
+/// position (`seq`) in that SM's issue-order completion list where the
+/// result lands at gather time.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneReq {
+    /// Issuing SM.
+    pub sm: usize,
+    /// Index into the SM's completion list for this cycle.
+    pub seq: usize,
+    /// Coalesced line address.
+    pub addr: u64,
+}
+
+/// One partition's request lane for a drain round: the routed requests
+/// in (SM-index, issue) order and the results the partition produced
+/// for them. The pair lives next to its [`Partition`] so the parallel
+/// driver can hand both to a worker behind one lock.
+#[derive(Debug, Default)]
+pub struct PartitionLane {
+    /// Routed requests, (SM-index, issue) order.
+    pub reqs: Vec<LaneReq>,
+    /// One result per request, filled by [`PartitionLane::drain`].
+    pub results: Vec<AccessResult>,
+}
+
+impl PartitionLane {
+    /// An empty lane.
+    #[must_use]
+    pub fn new() -> Self {
+        PartitionLane::default()
+    }
+
+    /// Runs every routed request through `part` in lane order, filling
+    /// `results`. Pure per-partition work — safe to run concurrently
+    /// with other partitions' drains.
+    pub fn drain(&mut self, part: &mut Partition, now: u64) {
+        self.results.clear();
+        self.results
+            .extend(self.reqs.iter().map(|r| part.access(r.sm, r.addr, now)));
+    }
+}
+
+/// One completed transaction handed back to its SM in issue order:
+/// the request identity plus the partition's [`AccessResult`]
+/// (placeholder-default until [`gather_results`] fills it).
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Core-local token matching the result to a scoreboard entry.
+    pub token: u32,
+    /// Coalesced line address.
+    pub addr: u64,
+    /// Store traffic (write-allocate; never blocks the warp).
+    pub store: bool,
+    /// Partition that served the request.
+    pub partition: u32,
+    /// The partition's access result.
+    pub result: AccessResult,
+}
+
+/// Routes one SM's queued requests into the per-partition lanes,
+/// recording a placeholder [`Completion`] per request in issue order.
+/// Called per SM in SM-index order, so every lane ends up in
+/// (SM-index, issue) order — with one partition, exactly the total
+/// order the pre-partitioning drain used.
+pub fn route_requests(
+    queue: &mut RequestQueue,
+    sm: usize,
+    decoder: &AddressDecoder,
+    lanes: &mut [PartitionLane],
+    completions: &mut Vec<Completion>,
+) {
+    for (token, addr, store) in queue.drain() {
+        let p = decoder.decode(addr);
+        lanes[p].reqs.push(LaneReq {
+            sm,
+            seq: completions.len(),
+            addr,
+        });
+        completions.push(Completion {
+            token,
+            addr,
+            store,
+            partition: p as u32,
+            result: AccessResult::default(),
+        });
+    }
+}
+
+/// Scatters every lane's results back into the per-SM completion lists
+/// (issue order), leaving the lanes empty for the next cycle.
+pub fn gather_results(lanes: &mut [PartitionLane], completions: &mut [Vec<Completion>]) {
+    for lane in lanes {
+        for (req, r) in lane.reqs.drain(..).zip(lane.results.drain(..)) {
+            completions[req.sm][req.seq].result = r;
+        }
     }
 }
 

@@ -6,9 +6,10 @@
 //! and per-SM activity counters — and nothing shared with other SMs.
 //! Global memory reaches it through [`crate::gmem::GlobalMem`] and the
 //! cache hierarchy through [`crate::memory::MemInterface`], so cores can
-//! step concurrently; the driver ([`crate::timed`]) drains the queued
-//! memory requests in SM-index order at the end of every cycle, which
-//! keeps serial and parallel runs bit-identical.
+//! step concurrently; the driver ([`crate::timed`]) routes the queued
+//! memory requests to the L2 partitions in SM-index order at the end of
+//! every cycle and drains the partitions in partition-index order,
+//! which keeps serial and parallel runs bit-identical.
 //!
 //! One cycle is three phases, all driven from outside:
 //!
@@ -16,15 +17,23 @@
 //!    warp instructions, executing them functionally and queueing global
 //!    memory transactions (scoreboard destinations of in-flight loads are
 //!    parked at `u64::MAX`).
-//! 2. [`SmCore::drain_memory`] — replay the queued transactions against
-//!    the shared hierarchy and resolve the parked scoreboard entries.
+//! 2. The driver routes the queued transactions to the L2 partitions
+//!    ([`crate::memory::route_requests`]), drains the partitions —
+//!    concurrently, in parallel runs — and hands the completed results
+//!    back through [`SmCore::complete_memory`], which resolves the
+//!    parked scoreboard entries ([`SmCore::drain_memory`] bundles the
+//!    whole phase for single-SM callers).
 //! 3. [`SmCore::finish_cycle`] — release satisfied block barriers and
 //!    retire finished blocks.
 
+use crate::addrdec::AddressDecoder;
 use crate::config::{GpuConfig, SchedulerKind};
 use crate::exec::{step, ExecEnv, StepHooks, WarpAdderOp, WarpCtx};
 use crate::gmem::GlobalMem;
-use crate::memory::{coalesce, MemInterface, MemoryHierarchy, RequestQueue};
+use crate::memory::{
+    apply_access_counters, coalesce, Completion, MemInterface, MemoryHierarchy, MshrView,
+    RequestQueue,
+};
 use crate::stats::ActivityCounters;
 use st2_core::adder::execute_op_with_sink;
 use st2_core::event::OpContext;
@@ -295,13 +304,16 @@ pub struct SmCore {
     age_counter: u64,
     act: ActivityCounters,
     pending: Vec<PendingAccess>,
-    /// Mirror of this SM's free MSHR entries, refreshed by
-    /// [`SmCore::drain_memory`] each cycle (so the issue stage can gate
-    /// global LD/ST without reading shared hierarchy state mid-step).
-    /// Stale by at most the accesses issued since the last drain, which
-    /// the per-issue decrement below accounts for.
-    mem_credit: u32,
-    /// Earliest in-flight fill time while the MSHR file is full
+    /// Copy of the hierarchy's address decoder, so the issue stage can
+    /// charge the right per-partition credit without shared state.
+    decoder: AddressDecoder,
+    /// Per-partition mirror of this SM's free MSHR entries, refreshed by
+    /// [`SmCore::complete_memory`] each cycle (so the issue stage can
+    /// gate global LD/ST without reading shared hierarchy state
+    /// mid-step). Stale by at most the accesses issued since the last
+    /// drain, which the per-segment decrement below accounts for.
+    mem_credit: Vec<u32>,
+    /// Earliest in-flight fill time while an MSHR slice is full
     /// (`u64::MAX` otherwise): the wake hint for `MemThrottle`-stalled
     /// warps.
     mem_wake: u64,
@@ -336,7 +348,11 @@ impl SmCore {
             age_counter: 0,
             act: ActivityCounters::default(),
             pending: Vec::new(),
-            mem_credit: cfg.mshr_entries.max(1),
+            decoder: AddressDecoder::new(cfg.l1_line, cfg.l2_partitions.max(1)),
+            mem_credit: vec![
+                (cfg.mshr_entries / cfg.l2_partitions.max(1)).max(1);
+                cfg.l2_partitions.max(1) as usize
+            ],
             mem_wake: u64::MAX,
             cycle_profile: CycleProfile::default(),
             stall_scratch: Vec::new(),
@@ -489,10 +505,12 @@ impl SmCore {
                         .copied()
                         .min()
                         .unwrap_or(u64::MAX);
-                    // Global LD/ST additionally needs a free MSHR
-                    // credit: with the file full the memory subsystem
-                    // back-pressures the LDST pipe until a fill retires.
-                    let throttled = self.mem_credit == 0 && is_global_mem(&inst);
+                    // Global LD/ST additionally needs free MSHR
+                    // credits: with any partition slice full the memory
+                    // subsystem back-pressures the LDST pipe until a
+                    // fill retires (conservative — the access might
+                    // route elsewhere — but cheap and deterministic).
+                    let throttled = is_global_mem(&inst) && self.mem_credit.contains(&0);
                     let at = ready_at.max(pipe_free);
                     if at <= now && !throttled {
                         (true, at, None, false)
@@ -670,6 +688,13 @@ impl SmCore {
                         let token = self.pending.len() as u32;
                         for seg in &segs {
                             iface.request(token, *seg, m.store);
+                            // Each segment may allocate an MSHR entry in
+                            // its partition at the drain; spend the
+                            // credit now so one cycle cannot
+                            // oversubscribe a slice (exact state is
+                            // re-mirrored at the completion phase).
+                            let part = self.decoder.decode(*seg);
+                            self.mem_credit[part] = self.mem_credit[part].saturating_sub(1);
                         }
                         self.pending.push(PendingAccess {
                             warp: wi,
@@ -677,11 +702,6 @@ impl SmCore {
                         });
                         interval = segs.len() as u64;
                         deferred_load = !m.store;
-                        // Each segment may allocate an MSHR entry at the
-                        // drain; spend credits now so one cycle cannot
-                        // oversubscribe the file (exact state is
-                        // re-mirrored at the drain).
-                        self.mem_credit = self.mem_credit.saturating_sub(segs.len() as u32);
                     }
                 }
                 if m.store {
@@ -766,17 +786,82 @@ impl SmCore {
         tele.profile_commit(self.index, dt, &self.cycle_profile);
     }
 
-    /// Replays this core's queued transactions (issued during
-    /// [`SmCore::step_cycle`] at cycle `now`) against the shared
-    /// hierarchy, in issue order, and resolves parked scoreboard entries
-    /// to the completion cycles the hierarchy computed (MSHR merges,
-    /// bandwidth queueing and throttle waits included). Each
-    /// transaction's lifecycle stamps (MSHR wait, per-stage bandwidth
-    /// queueing, load/store) feed telemetry, and the post-drain MSHR
-    /// occupancy is integrated over the `dt` clock ticks this cycle
-    /// covers. The driver calls this once per SM per cycle, in SM-index
-    /// order — the only place shared memory-subsystem state is touched,
-    /// which is what keeps parallel runs bit-identical.
+    /// Applies this cycle's completed transactions (issued during
+    /// [`SmCore::step_cycle`] at cycle `now`, routed to the partitions
+    /// and drained by the driver) in issue order: replays their counter
+    /// updates, records per-transaction telemetry, and resolves parked
+    /// scoreboard entries to the completion cycles the partitions
+    /// computed (MSHR merges, crossbar and bandwidth queueing, throttle
+    /// waits included). `views` is this SM's post-drain MSHR slice state
+    /// in partition-index order; it refreshes the per-partition credit
+    /// mirrors, the `MemThrottle` wake hint and the telemetry occupancy
+    /// timeline (integrated over the `dt` clock ticks this cycle
+    /// covers). The driver calls this once per SM per cycle — all
+    /// updates are SM-local, so the call order across SMs is free; the
+    /// per-SM issue order is what keeps runs bit-identical.
+    pub fn complete_memory(
+        &mut self,
+        completions: &mut Vec<Completion>,
+        views: &[MshrView],
+        now: u64,
+        dt: u64,
+        tele: &mut Telemetry,
+    ) {
+        if !self.pending.is_empty() || !completions.is_empty() {
+            let mut worst = vec![now; self.pending.len()];
+            for c in completions.drain(..) {
+                let r = c.result;
+                apply_access_counters(&mut self.act, &r, self.cfg.l1_line);
+                tele.mem_transaction(
+                    self.index,
+                    now,
+                    &MemTxn {
+                        addr: c.addr,
+                        latency: r.latency,
+                        level: r.level(),
+                        store: c.store,
+                        partition: c.partition,
+                        mshr_wait: r.mshr_wait,
+                        xbar_wait: r.xbar_wait,
+                        l2_wait: r.l2_wait,
+                        dram_wait: r.dram_wait,
+                    },
+                );
+                worst[c.token as usize] = worst[c.token as usize].max(r.ready_at);
+            }
+            for (p, w) in self.pending.drain(..).zip(worst) {
+                if let Some(d) = p.dest {
+                    self.warps[p.warp].reg_ready[usize::from(d.0)] = w.max(now + 1);
+                }
+            }
+        }
+        // Refresh the issue-gate mirrors. They go stale again as soon as
+        // warps issue next cycle, but staleness only delays the
+        // back-pressure by the accesses already credited at issue.
+        let mut occupied = 0u32;
+        let mut earliest = u64::MAX;
+        let mut any_full = false;
+        for (credit, v) in self.mem_credit.iter_mut().zip(views) {
+            *credit = v.free;
+            occupied += v.occupied;
+            earliest = earliest.min(v.earliest);
+            any_full |= v.free == 0;
+        }
+        if any_full {
+            // A slice ends the cycle saturated: further global memory
+            // issue is gated until a fill retires.
+            self.act.mem_throttle += 1;
+        }
+        tele.mem_occupancy(self.index, occupied, dt);
+        self.mem_wake = earliest;
+    }
+
+    /// Single-SM bundle of the whole memory phase: retire fills, route
+    /// this core's queued requests through the decoder, drain every
+    /// partition in index order, and apply the completions. The drivers
+    /// run the phases separately (so multi-SM lanes and partition
+    /// parallelism work); this wrapper serves single-core callers and
+    /// tests.
     pub fn drain_memory(
         &mut self,
         queue: &mut RequestQueue,
@@ -786,45 +871,25 @@ impl SmCore {
         tele: &mut Telemetry,
     ) {
         // Retire completed line fills first so this cycle's requests and
-        // the refreshed credit mirror both see the post-retirement file.
+        // the refreshed credit mirrors both see the post-retirement
+        // files.
         hier.retire_fills(self.index, now);
-        if !self.pending.is_empty() || !queue.is_empty() {
-            let mut worst = vec![now; self.pending.len()];
-            for (token, addr, store) in queue.drain() {
-                let r = hier.access(self.index, addr, now, &mut self.act);
-                tele.mem_transaction(
-                    self.index,
-                    now,
-                    &MemTxn {
-                        addr,
-                        latency: r.latency,
-                        level: r.level(),
-                        store,
-                        mshr_wait: r.mshr_wait,
-                        l2_wait: r.l2_wait,
-                        dram_wait: r.dram_wait,
-                    },
-                );
-                worst[token as usize] = worst[token as usize].max(r.ready_at);
-            }
-            for (p, w) in self.pending.drain(..).zip(worst) {
-                if let Some(d) = p.dest {
-                    self.warps[p.warp].reg_ready[usize::from(d.0)] = w.max(now + 1);
-                }
-            }
+        let decoder = hier.decoder();
+        let mut completions = Vec::new();
+        for (token, addr, store) in queue.drain() {
+            let p = decoder.decode(addr);
+            let result = hier.partition_mut(p).access(self.index, addr, now);
+            completions.push(Completion {
+                token,
+                addr,
+                store,
+                partition: p as u32,
+                result,
+            });
         }
-        // Refresh the issue-gate mirror. It goes stale again as soon as
-        // warps issue next cycle, but staleness only delays the
-        // back-pressure by the accesses already credited above.
-        let (free, earliest) = hier.mshr_state(self.index);
-        if free == 0 {
-            // The file ends the cycle saturated: further global memory
-            // issue is gated until a fill retires.
-            self.act.mem_throttle += 1;
-        }
-        tele.mem_occupancy(self.index, hier.mshr_occupied(self.index), dt);
-        self.mem_credit = free;
-        self.mem_wake = earliest;
+        let mut views = Vec::new();
+        hier.mshr_views(self.index, &mut views);
+        self.complete_memory(&mut completions, &views, now, dt, tele);
     }
 
     /// End-of-cycle bookkeeping: releases block barriers once every

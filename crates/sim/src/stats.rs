@@ -126,6 +126,12 @@ pub struct ActivityCounters {
     /// `bw_starved_cycles` with low `mem_throttle` means bandwidth, not
     /// MSHR capacity, is the bottleneck.
     pub bw_starved_cycles: u64,
+    /// Cycles started fills spent queued at a full crossbar injection
+    /// port before their L2 partition accepted them, summed over
+    /// requests. Always zero with a single L2 partition (no crossbar is
+    /// modeled); nonzero values mean the per-(SM, partition) port depth
+    /// (`xbar_queue`), not bandwidth or MSHR capacity, delayed traffic.
+    pub xbar_wait_cycles: u64,
     /// NoC flits moved (L1↔L2 traffic).
     pub noc_flits: u64,
     /// Shared-memory transactions (bank-conflicted accesses count once
@@ -176,6 +182,7 @@ impl ActivityCounters {
         self.mshr_merges += other.mshr_merges;
         self.mem_throttle += other.mem_throttle;
         self.bw_starved_cycles += other.bw_starved_cycles;
+        self.xbar_wait_cycles += other.xbar_wait_cycles;
         self.noc_flits += other.noc_flits;
         self.shared_accesses += other.shared_accesses;
         self.shared_bank_conflicts += other.shared_bank_conflicts;
@@ -225,6 +232,7 @@ impl ActivityCounters {
         out.mshr_merges *= e;
         out.mem_throttle *= e;
         out.bw_starved_cycles *= e;
+        out.xbar_wait_cycles *= e;
         out.noc_flits *= e;
         out.shared_accesses *= e;
         out.shared_bank_conflicts *= e;
@@ -329,6 +337,7 @@ mod tests {
             mshr_merges: 197 * e,
             mem_throttle: 199 * e,
             bw_starved_cycles: 211 * e,
+            xbar_wait_cycles: 223 * e,
             noc_flits: 83 * e,
             shared_accesses: 89 * e,
             shared_bank_conflicts: 97 * e,

@@ -11,27 +11,38 @@
 //!    parallel driver, which is safe because cores only touch global
 //!    memory through [`crate::gmem::GlobalMem`] and queue their cache
 //!    transactions instead of touching the hierarchy,
-//! 3. drain the queued transactions in SM-index order
-//!    ([`SmCore::drain_memory`]), finish the cycle, and advance the
+//! 3. drain memory: retire landed fills, route the queued transactions
+//!    through the address decoder into per-partition lanes (SM-index
+//!    order), drain the L2 partitions in partition-index order —
+//!    concurrently in the parallel driver, each partition behind its
+//!    own lock — gather the results back per SM, apply them
+//!    ([`SmCore::complete_memory`]), finish the cycle, and advance the
 //!    clock (fast-forwarding idle stretches to the earliest wake-up).
 //!
-//! Because phase 3 replays memory transactions in the same total order
-//! the serial driver produces, cycles, activity counters and adder
-//! accuracy are **bit-identical** at every `sim_threads` setting; the
-//! knob is purely wall-clock. The timing model itself is deliberately
-//! "GPGPU-Sim-shaped but lighter": each warp instruction issues
-//! atomically to a functional-unit pipe, occupying it for an issue
-//! interval and producing its results after a latency. ST² mispredictions
-//! lengthen both by one cycle — the stall signal of the paper's Fig. 4 —
-//! which is exactly how the design's ~0.36 % average performance overhead
-//! arises. Global-memory latency is not a constant: the drain phase runs
-//! every miss through per-SM MSHR files and finite L2/DRAM request
-//! bandwidth (see [`crate::memory`]), so loaded memory systems stretch
-//! completion times and a full MSHR file back-pressures the issue stage.
+//! Because phase 3 routes requests in the same (SM-index, issue) total
+//! order the serial driver produces and each partition serves its lane
+//! in exactly that order — partitions share no mutable state, so the
+//! drain schedule across partitions is irrelevant — cycles, activity
+//! counters and adder accuracy are **bit-identical** at every
+//! `sim_threads` setting; the knob is purely wall-clock. The timing
+//! model itself is deliberately "GPGPU-Sim-shaped but lighter": each
+//! warp instruction issues atomically to a functional-unit pipe,
+//! occupying it for an issue interval and producing its results after a
+//! latency. ST² mispredictions lengthen both by one cycle — the stall
+//! signal of the paper's Fig. 4 — which is exactly how the design's
+//! ~0.36 % average performance overhead arises. Global-memory latency
+//! is not a constant: the drain phase runs every miss through per-SM
+//! MSHR slices, bounded crossbar injection ports and finite per-partition
+//! L2/DRAM request bandwidth (see [`crate::memory`]), so loaded memory
+//! systems stretch completion times and a full MSHR slice
+//! back-pressures the issue stage.
 
 use crate::config::GpuConfig;
 use crate::gmem::SharedGlobal;
-use crate::memory::{MemoryHierarchy, RequestQueue};
+use crate::memory::{
+    gather_results, route_requests, AccessResult, Completion, LaneReq, MemoryHierarchy, MshrView,
+    Partition, PartitionLane, RequestQueue,
+};
 use crate::sm::{CycleReport, SmCore};
 use crate::stats::ActivityCounters;
 use st2_isa::{LaunchConfig, MemImage, Program};
@@ -171,6 +182,12 @@ fn run_serial(
         .collect();
     let mut queues: Vec<RequestQueue> = (0..cfg.num_sms).map(|_| RequestQueue::new()).collect();
     let mut hier = MemoryHierarchy::new(cfg);
+    let decoder = hier.decoder();
+    let mut lanes: Vec<PartitionLane> = (0..hier.num_partitions())
+        .map(|_| PartitionLane::new())
+        .collect();
+    let mut completions: Vec<Vec<Completion>> = (0..cfg.num_sms).map(|_| Vec::new()).collect();
+    let mut views: Vec<MshrView> = Vec::new();
 
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
@@ -200,14 +217,31 @@ fn run_serial(
             break;
         }
 
-        // Phase 3: drain memory in SM-index order, finish, advance time.
-        // SM active/idle accounting covers the whole interval, not just
-        // the iteration, so fast-forwarding does not distort static
-        // energy.
+        // Phase 3: drain memory, finish, advance time. SM active/idle
+        // accounting covers the whole interval, not just the iteration,
+        // so fast-forwarding does not distort static energy.
         let next_now = next_cycle(now, any_issued, next_wake);
         let dt = next_now - now;
-        for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
-            core.drain_memory(queue, &mut hier, now, dt, tele);
+        // 3a: retire landed fills. Retirement touches only the owning
+        // SM's MSHR slices — no shared arbiter state — so hoisting it
+        // ahead of every access reorders only commuting operations.
+        for sm in 0..cores.len() {
+            hier.retire_fills(sm, now);
+        }
+        // 3b: route every queue into the partition lanes (SM-index,
+        // issue order), drain the partitions in index order, and gather
+        // the results back per SM.
+        for (sm, queue) in queues.iter_mut().enumerate() {
+            route_requests(queue, sm, &decoder, &mut lanes, &mut completions[sm]);
+        }
+        for (p, lane) in lanes.iter_mut().enumerate() {
+            lane.drain(hier.partition_mut(p), now);
+        }
+        gather_results(&mut lanes, &mut completions);
+        // 3c: per-SM completion in SM-index order.
+        for (sm, core) in cores.iter_mut().enumerate() {
+            hier.mshr_views(sm, &mut views);
+            core.complete_memory(&mut completions[sm], &views, now, dt, tele);
             core.finish_cycle();
             core.commit_profile(dt, tele);
         }
@@ -239,11 +273,19 @@ struct SmUnit {
     report: CycleReport,
 }
 
+/// One L2 partition's worker-side bundle: the partition and its request
+/// lane, behind one lock so a worker can drain the lane into the
+/// partition without touching anything else.
+struct PartUnit {
+    part: Partition,
+    lane: PartitionLane,
+}
+
 /// The parallel driver: `threads` workers step disjoint SM subsets each
-/// cycle; the main thread owns everything shared (block dispatch, the
-/// memory hierarchy, the clock) and runs the drain phase at the barrier
-/// in SM-index order, which makes results bit-identical to
-/// [`run_serial`].
+/// cycle and then drain disjoint partition subsets; the main thread
+/// owns everything shared (block dispatch, routing, the clock) and runs
+/// the route and completion phases between the barriers in SM-index
+/// order, which makes results bit-identical to [`run_serial`].
 fn run_parallel(
     program: &Program,
     launch: LaunchConfig,
@@ -272,13 +314,29 @@ fn run_parallel(
         })
         .collect();
 
-    // Two rendezvous per cycle: one to release the workers into the step
-    // phase, one to hand exclusive access back to the driver.
+    // Four rendezvous per cycle: release the workers into the step
+    // phase, hand exclusive access back to the driver for routing,
+    // release the workers into the partition drain, and hand access
+    // back for the completion phase.
     let barrier = Barrier::new(threads + 1);
     let clock = AtomicU64::new(0);
     let done = AtomicBool::new(false);
 
-    let mut hier = MemoryHierarchy::new(cfg);
+    let hier = MemoryHierarchy::new(cfg);
+    let decoder = hier.decoder();
+    let parts: Vec<Mutex<PartUnit>> = hier
+        .into_partitions()
+        .into_iter()
+        .map(|part| {
+            Mutex::new(PartUnit {
+                part,
+                lane: PartitionLane::new(),
+            })
+        })
+        .collect();
+    let num_parts = parts.len();
+    let mut completions: Vec<Vec<Completion>> = (0..num_sms).map(|_| Vec::new()).collect();
+    let mut views: Vec<Vec<MshrView>> = (0..num_sms).map(|_| Vec::new()).collect();
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
@@ -286,11 +344,11 @@ fn run_parallel(
     std::thread::scope(|s| {
         for t in 0..threads {
             let (barrier, clock, done) = (&barrier, &clock, &done);
-            let (units, image) = (&units, &image);
+            let (units, parts, image) = (&units, &parts, &image);
             s.spawn(move || {
                 let mut global = SharedGlobal::new(image);
                 loop {
-                    barrier.wait(); // start of cycle
+                    barrier.wait(); // A: start of cycle
                     if done.load(Ordering::Acquire) {
                         break;
                     }
@@ -307,13 +365,20 @@ fn run_parallel(
                             &mut unit.tele,
                         );
                     }
-                    barrier.wait(); // end of step phase
+                    barrier.wait(); // B: end of step phase (main routes)
+                    barrier.wait(); // C: start of partition drain
+                    for p in (t..num_parts).step_by(threads) {
+                        let mut pu = parts[p].lock().expect("partition lock");
+                        let pu = &mut *pu;
+                        pu.lane.drain(&mut pu.part, now);
+                    }
+                    barrier.wait(); // D: end of drain (main completes)
                 }
             });
         }
 
         loop {
-            // Phase 1: admission (workers are parked at the barrier).
+            // Phase 1: admission (workers are parked at barrier A).
             for unit in units.iter() {
                 if next_block >= launch.grid_dim {
                     break;
@@ -326,8 +391,8 @@ fn run_parallel(
 
             // Phase 2: let the workers step this cycle.
             clock.store(now, Ordering::Release);
-            barrier.wait();
-            barrier.wait();
+            barrier.wait(); // A
+            barrier.wait(); // B
 
             let mut any_resident = false;
             let mut any_issued = false;
@@ -342,19 +407,83 @@ fn run_parallel(
             }
             if !any_resident && next_block >= launch.grid_dim {
                 done.store(true, Ordering::Release);
-                barrier.wait(); // release the workers into their exit path
+                barrier.wait(); // C: workers drain their (empty) lanes
+                barrier.wait(); // D
+                barrier.wait(); // A of the next cycle: workers observe
+                                // `done` and exit
                 break;
             }
 
-            // Phase 3: drain in SM-index order against the shared
-            // hierarchy, finish the cycle, advance every clock.
+            // Phase 3a: retire landed fills and route every queue into
+            // the partition lanes in (SM-index, issue) order. Workers
+            // are parked between barriers B and C, so the driver takes
+            // all partition locks without contention.
+            {
+                let mut guards: Vec<_> = parts
+                    .iter()
+                    .map(|p| p.lock().expect("partition lock"))
+                    .collect();
+                for sm in 0..num_sms {
+                    for g in guards.iter_mut() {
+                        g.part.retire_fills(sm, now);
+                    }
+                }
+                for (sm, unit) in units.iter().enumerate() {
+                    let mut unit = unit.lock().expect("sm unit lock");
+                    for (token, addr, store) in unit.queue.drain() {
+                        let p = decoder.decode(addr);
+                        guards[p].lane.reqs.push(LaneReq {
+                            sm,
+                            seq: completions[sm].len(),
+                            addr,
+                        });
+                        completions[sm].push(Completion {
+                            token,
+                            addr,
+                            store,
+                            partition: p as u32,
+                            result: AccessResult::default(),
+                        });
+                    }
+                }
+            }
+
+            // Phase 3b: workers drain the partitions concurrently
+            // (disjoint state — the schedule across partitions cannot
+            // affect any result).
+            barrier.wait(); // C
+            barrier.wait(); // D
+
+            // Phase 3c: gather results per SM, snapshot the MSHR views,
+            // and run the per-SM completion phase in SM-index order.
             let next_now = next_cycle(now, any_issued, next_wake);
             let dt = next_now - now;
-            for unit in units.iter() {
+            {
+                let mut guards: Vec<_> = parts
+                    .iter()
+                    .map(|p| p.lock().expect("partition lock"))
+                    .collect();
+                for g in guards.iter_mut() {
+                    let lane = &mut g.lane;
+                    for (req, r) in lane.reqs.drain(..).zip(lane.results.drain(..)) {
+                        completions[req.sm][req.seq].result = r;
+                    }
+                }
+                for (sm, v) in views.iter_mut().enumerate() {
+                    v.clear();
+                    v.extend(guards.iter().map(|g| g.part.mshr_view(sm)));
+                }
+            }
+            for (sm, unit) in units.iter().enumerate() {
                 let mut unit = unit.lock().expect("sm unit lock");
                 let unit = &mut *unit;
-                unit.core
-                    .drain_memory(&mut unit.queue, &mut hier, now, dt, &mut unit.tele);
+                unit.core.complete_memory(
+                    &mut completions[sm],
+                    &views[sm],
+                    now,
+                    dt,
+                    &mut unit.tele,
+                );
                 unit.core.finish_cycle();
                 unit.core.commit_profile(dt, &mut unit.tele);
                 unit.tele.advance(next_now);

@@ -318,6 +318,7 @@ mod tests {
                 mshr_wait: 4,
                 l2_wait: 2,
                 dram_wait: 1,
+                ..crate::MemTxn::default()
             },
         );
         t.mem_transaction(

@@ -86,12 +86,14 @@ struct HotIds {
     mshr_merges: metrics::CounterId,
     mshr_wait_cycles: metrics::CounterId,
     bw_starved_cycles: metrics::CounterId,
+    xbar_wait_cycles: metrics::CounterId,
     barriers: metrics::CounterId,
     recompute_slices: metrics::HistogramId,
     issue_gap: metrics::HistogramId,
     mem_latency: metrics::HistogramId,
     fill_latency: metrics::HistogramId,
     mshr_wait: metrics::HistogramId,
+    xbar_wait: metrics::HistogramId,
     l2_queue_wait: metrics::HistogramId,
     dram_queue_wait: metrics::HistogramId,
     load_latency: metrics::HistogramId,
@@ -122,6 +124,7 @@ struct MemBase {
     l1_misses: u64,
     dram_accesses: u64,
     bw_wait: u64,
+    xbar_wait: u64,
 }
 
 /// Lifecycle stamps of one coalesced global-memory transaction, as
@@ -138,8 +141,14 @@ pub struct MemTxn {
     pub level: u8,
     /// Whether the transaction was a store (write-allocate).
     pub store: bool,
+    /// L2 partition that served the transaction (0 with a monolithic
+    /// L2).
+    pub partition: u32,
     /// Cycles stalled waiting for a free MSHR entry.
     pub mshr_wait: u64,
+    /// Cycles queued at a full crossbar injection port before the
+    /// partition accepted the request (0 with a monolithic L2).
+    pub xbar_wait: u64,
     /// Cycles queued for an L2 request-bandwidth slot.
     pub l2_wait: u64,
     /// Cycles queued for a DRAM request-bandwidth slot.
@@ -170,6 +179,11 @@ pub struct Telemetry {
     mem_series: IntervalSeries,
     mem_base: MemBase,
     mshr_occupied_cycles: u64,
+    /// Fresh fills served per L2 partition, indexed by partition id
+    /// (grown lazily to the highest partition observed). The
+    /// partition-balance evidence for the crossbar model: a healthy
+    /// address hash keeps these within a small factor of each other.
+    part_fills: Vec<u64>,
     /// Per-SM peak MSHR occupancy within the current snapshot interval.
     /// The interval row publishes the *sum of per-SM peaks*, a pure
     /// integer sum — so a serial run (one collector, all SMs) and a
@@ -185,15 +199,17 @@ pub const SERIES_COLUMNS: [&str; 4] = ["adder.accuracy", "adder.ops", "adder.mis
 /// Memory interval-series column order (see [`Telemetry::mem_series`]).
 /// All columns are extensive integer sums over the interval:
 /// occupied MSHR-entry-cycles, the sum of per-SM peak occupancies,
-/// L2/DRAM requests granted, and cycles requests spent queued for
-/// bandwidth slots (Little's law: divide by the interval length for
-/// the average queue depth).
-pub const MEM_SERIES_COLUMNS: [&str; 5] = [
+/// L2/DRAM requests granted, cycles requests spent queued for
+/// bandwidth slots, and cycles spent queued at crossbar injection
+/// ports (Little's law: divide by the interval length for the average
+/// queue depth).
+pub const MEM_SERIES_COLUMNS: [&str; 6] = [
     "mem.mshr_occupied_cycles",
     "mem.mshr_peak",
     "mem.l2_requests",
     "mem.dram_requests",
     "mem.bw_wait_cycles",
+    "mem.xbar_wait_cycles",
 ];
 
 impl Telemetry {
@@ -222,6 +238,7 @@ impl Telemetry {
             mem_series: IntervalSeries::default(),
             mem_base: MemBase::default(),
             mshr_occupied_cycles: 0,
+            part_fills: Vec::new(),
             mshr_interval_peak: Vec::new(),
             final_cycles: 0,
         }
@@ -254,12 +271,14 @@ impl Telemetry {
             mshr_merges: registry.counter("mem.mshr_merges"),
             mshr_wait_cycles: registry.counter("mem.mshr_wait_cycles"),
             bw_starved_cycles: registry.counter("mem.bw_starved_cycles"),
+            xbar_wait_cycles: registry.counter("mem.xbar_wait_cycles"),
             barriers: registry.counter("sched.barriers"),
             recompute_slices: registry.histogram("adder.recompute_slices"),
             issue_gap: registry.histogram("sched.issue_gap"),
             mem_latency: registry.histogram("mem.latency"),
             fill_latency: registry.histogram("mem.fill_latency"),
             mshr_wait: registry.histogram("mem.mshr_wait"),
+            xbar_wait: registry.histogram("mem.xbar_wait"),
             l2_queue_wait: registry.histogram("mem.l2_queue_wait"),
             dram_queue_wait: registry.histogram("mem.dram_queue_wait"),
             load_latency: registry.histogram("mem.load_latency"),
@@ -290,6 +309,7 @@ impl Telemetry {
             ),
             mem_base: MemBase::default(),
             mshr_occupied_cycles: 0,
+            part_fills: Vec::new(),
             mshr_interval_peak: vec![0; num_sms.max(1)],
             final_cycles: 0,
         }
@@ -372,6 +392,13 @@ impl Telemetry {
         self.mem_base.l1_misses += other.mem_base.l1_misses;
         self.mem_base.dram_accesses += other.mem_base.dram_accesses;
         self.mem_base.bw_wait += other.mem_base.bw_wait;
+        self.mem_base.xbar_wait += other.mem_base.xbar_wait;
+        if self.part_fills.len() < other.part_fills.len() {
+            self.part_fills.resize(other.part_fills.len(), 0);
+        }
+        for (mine, theirs) in self.part_fills.iter_mut().zip(&other.part_fills) {
+            *mine += theirs;
+        }
         let other_peak = other.mshr_interval_peak.iter().copied().max().unwrap_or(0);
         let idx = sm.min(self.mshr_interval_peak.len().saturating_sub(1));
         if let Some(p) = self.mshr_interval_peak.get_mut(idx) {
@@ -486,6 +513,7 @@ impl Telemetry {
         if t.level == 1 || t.level == 2 {
             self.registry.record(ids.fill_latency, u64::from(t.latency));
             self.registry.record(ids.mshr_wait, t.mshr_wait);
+            self.registry.record(ids.xbar_wait, t.xbar_wait);
             self.registry.record(ids.l2_queue_wait, t.l2_wait);
             if t.level == 2 {
                 self.registry.record(ids.dram_queue_wait, t.dram_wait);
@@ -493,6 +521,12 @@ impl Telemetry {
             self.registry.inc(ids.mshr_wait_cycles, t.mshr_wait);
             self.registry
                 .inc(ids.bw_starved_cycles, t.l2_wait + t.dram_wait);
+            self.registry.inc(ids.xbar_wait_cycles, t.xbar_wait);
+            let part = t.partition as usize;
+            if self.part_fills.len() <= part {
+                self.part_fills.resize(part + 1, 0);
+            }
+            self.part_fills[part] += 1;
             self.record_event(
                 sm,
                 cycle,
@@ -574,6 +608,7 @@ impl Telemetry {
         let l1m = self.registry.counter_value(ids.l1_misses);
         let dram = self.registry.counter_value(ids.dram_accesses);
         let bw = self.registry.counter_value(ids.bw_starved_cycles);
+        let xbar = self.registry.counter_value(ids.xbar_wait_cycles);
         let peak_sum: u64 = self.mshr_interval_peak.iter().map(|&p| u64::from(p)).sum();
         self.mem_series.push(
             cycle,
@@ -583,6 +618,7 @@ impl Telemetry {
                 (l1m - self.mem_base.l1_misses) as f64,
                 (dram - self.mem_base.dram_accesses) as f64,
                 (bw - self.mem_base.bw_wait) as f64,
+                (xbar - self.mem_base.xbar_wait) as f64,
             ],
         );
         self.mem_base = MemBase {
@@ -590,6 +626,7 @@ impl Telemetry {
             l1_misses: l1m,
             dram_accesses: dram,
             bw_wait: bw,
+            xbar_wait: xbar,
         };
         for p in &mut self.mshr_interval_peak {
             *p = 0;
@@ -682,6 +719,14 @@ impl Telemetry {
     #[must_use]
     pub fn mem_occupied_cycles(&self) -> u64 {
         self.mshr_occupied_cycles
+    }
+
+    /// Fresh fills served per L2 partition, indexed by partition id
+    /// (empty when no fill happened; length = highest partition seen
+    /// + 1, so a monolithic L2 reports one entry).
+    #[must_use]
+    pub fn part_fills(&self) -> &[u64] {
+        &self.part_fills
     }
 
     /// Per-SM event rings.
@@ -938,8 +983,8 @@ mod tests {
                 profile_pc_capacity: 64,
             },
         );
-        // A DRAM fill that queued at every stage, a clean L2 store
-        // fill, and an L1 hit (no fill).
+        // A DRAM fill that queued at every stage (partition 1), a clean
+        // L2 store fill (partition 0), and an L1 hit (no fill).
         t.mem_transaction(
             0,
             5,
@@ -948,7 +993,9 @@ mod tests {
                 latency: 140,
                 level: 2,
                 store: false,
+                partition: 1,
                 mshr_wait: 10,
+                xbar_wait: 4,
                 l2_wait: 3,
                 dram_wait: 2,
             },
@@ -968,6 +1015,10 @@ mod tests {
         let r = t.registry();
         assert_eq!(r.counter_by_name("mem.bw_starved_cycles"), Some(5));
         assert_eq!(r.counter_by_name("mem.mshr_wait_cycles"), Some(10));
+        assert_eq!(r.counter_by_name("mem.xbar_wait_cycles"), Some(4));
+        assert_eq!(r.histogram_by_name("mem.xbar_wait").unwrap().count(), 2);
+        assert_eq!(r.histogram_by_name("mem.xbar_wait").unwrap().max(), 4);
+        assert_eq!(t.part_fills(), &[1, 1], "one fill per partition");
         assert_eq!(r.histogram_by_name("mem.fill_latency").unwrap().count(), 2);
         assert_eq!(r.histogram_by_name("mem.fill_latency").unwrap().max(), 140);
         assert_eq!(r.histogram_by_name("mem.load_latency").unwrap().count(), 2);
@@ -992,10 +1043,10 @@ mod tests {
         assert_eq!(pts.len(), 2, "boundary snapshot plus final partial");
         // First interval: all the activity above.
         assert_eq!(pts[0].cycle, 100);
-        assert_eq!(pts[0].values, vec![40.0, 5.0, 2.0, 1.0, 5.0]);
+        assert_eq!(pts[0].values, vec![40.0, 5.0, 2.0, 1.0, 5.0, 4.0]);
         // Final partial interval: quiet, peak reset.
         assert_eq!(pts[1].cycle, 150);
-        assert_eq!(pts[1].values, vec![0.0; 5]);
+        assert_eq!(pts[1].values, vec![0.0; 6]);
     }
 
     #[test]

@@ -525,7 +525,7 @@ pub struct OccPoint {
 /// Memory-subsystem totals captured from the telemetry registry: the
 /// numbers that, next to the `mem_pending`/`mem_throttle` stall shares,
 /// say whether a kernel is memory-bound and why.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemSummary {
     /// Coalesced global transactions (L1 accesses).
     pub l1_accesses: u64,
@@ -550,6 +550,14 @@ pub struct MemSummary {
     /// Cycles granted-ready requests waited purely for an L2/DRAM
     /// bandwidth slot.
     pub bw_starved_cycles: u64,
+    /// L2 partitions the run modelled (0 in documents predating the
+    /// partitioned crossbar).
+    pub partitions: u32,
+    /// Cycles started fills spent queued at a full crossbar injection
+    /// port (0 with a single partition — the crossbar is bypassed).
+    pub xbar_wait_cycles: u64,
+    /// Line fills completed per L2 partition, partition-index order.
+    pub part_fills: Vec<u64>,
 }
 
 impl MemSummary {
@@ -568,6 +576,20 @@ impl MemSummary {
     #[must_use]
     pub fn avg_mshr_occupancy(&self, cycles: u64) -> f64 {
         self.mshr_occupied_cycles as f64 / cycles.max(1) as f64
+    }
+
+    /// Partition-fill imbalance: the busiest partition's fill count over
+    /// the mean (1.0 is perfectly balanced; 0.0 when no fills were
+    /// recorded).
+    #[must_use]
+    pub fn fill_imbalance(&self) -> f64 {
+        let total: u64 = self.part_fills.iter().sum();
+        if total == 0 || self.part_fills.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.part_fills.len() as f64;
+        let max = self.part_fills.iter().copied().max().unwrap_or(0);
+        max as f64 / mean
     }
 }
 
@@ -588,6 +610,9 @@ pub struct MemPoint {
     pub dram_requests: u64,
     /// Bandwidth-slot wait cycles accrued during the interval.
     pub bw_wait_cycles: u64,
+    /// Crossbar injection-port wait cycles accrued during the interval
+    /// (0 in documents predating version 3).
+    pub xbar_wait_cycles: u64,
 }
 
 /// A portable per-kernel profile snapshot: the nvprof-style report data,
@@ -617,8 +642,10 @@ pub struct KernelProfile {
 
 /// Profile document version written by [`KernelProfile::to_json`].
 /// Version 2 added latency percentiles, MSHR occupancy totals, and the
-/// memory timeline; version-1 documents parse with those fields zeroed.
-pub const PROFILE_VERSION: u32 = 2;
+/// memory timeline; version 3 added the L2-partition/crossbar fields
+/// (`partitions`, `xbar_wait_cycles`, `part_fills`). Older documents
+/// parse with the newer fields zeroed.
+pub const PROFILE_VERSION: u32 = 3;
 
 impl KernelProfile {
     /// Captures a profile from a finalized [`Telemetry`]. Pass the
@@ -676,6 +703,7 @@ impl KernelProfile {
                 l2_requests: p.values[2] as u64,
                 dram_requests: p.values[3] as u64,
                 bw_wait_cycles: p.values[4] as u64,
+                xbar_wait_cycles: p.values.get(5).copied().unwrap_or(0.0) as u64,
             })
             .collect();
         let counter = |name: &str| tele.registry().counter_by_name(name).unwrap_or(0);
@@ -697,6 +725,9 @@ impl KernelProfile {
                 mshr_occupied_cycles: tele.mem_occupied_cycles(),
                 mshr_wait_cycles: counter("mem.mshr_wait_cycles"),
                 bw_starved_cycles: counter("mem.bw_starved_cycles"),
+                partitions: tele.part_fills().len() as u32,
+                xbar_wait_cycles: counter("mem.xbar_wait_cycles"),
+                part_fills: tele.part_fills().to_vec(),
             },
             sms: collector.sms().to_vec(),
             pcs,
@@ -747,6 +778,14 @@ impl KernelProfile {
         w.field_u64("mshr_occupied_cycles", self.mem.mshr_occupied_cycles);
         w.field_u64("mshr_wait_cycles", self.mem.mshr_wait_cycles);
         w.field_u64("bw_starved_cycles", self.mem.bw_starved_cycles);
+        w.field_u64("partitions", u64::from(self.mem.partitions));
+        w.field_u64("xbar_wait_cycles", self.mem.xbar_wait_cycles);
+        w.key("part_fills");
+        w.begin_array();
+        for &f in &self.mem.part_fills {
+            w.u64(f);
+        }
+        w.end_array();
         w.end_object();
         w.key("sms");
         w.begin_array();
@@ -800,6 +839,7 @@ impl KernelProfile {
             w.field_u64("l2_requests", p.l2_requests);
             w.field_u64("dram_requests", p.dram_requests);
             w.field_u64("bw_wait_cycles", p.bw_wait_cycles);
+            w.field_u64("xbar_wait_cycles", p.xbar_wait_cycles);
             w.end_object();
         }
         w.end_array();
@@ -895,6 +935,17 @@ impl KernelProfile {
                 mshr_occupied_cycles: opt("mshr_occupied_cycles"),
                 mshr_wait_cycles: opt("mshr_wait_cycles"),
                 bw_starved_cycles: opt("bw_starved_cycles"),
+                partitions: opt("partitions") as u32,
+                xbar_wait_cycles: opt("xbar_wait_cycles"),
+                part_fills: m
+                    .get("part_fills")
+                    .and_then(Value::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .map(|v| v.as_f64().map_or(0, |f| f as u64))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             }
         });
         // Documents written before the version field are version 1; the
@@ -913,6 +964,11 @@ impl KernelProfile {
                     l2_requests: u(p, "l2_requests")?,
                     dram_requests: u(p, "dram_requests")?,
                     bw_wait_cycles: u(p, "bw_wait_cycles")?,
+                    // Optional: version-2 documents predate the crossbar.
+                    xbar_wait_cycles: p
+                        .get("xbar_wait_cycles")
+                        .and_then(Value::as_f64)
+                        .map_or(0, |f| f as u64),
                 });
             }
         }
@@ -983,6 +1039,17 @@ impl KernelProfile {
                 out,
                 "mem waits: {} MSHR-full cycles   {} bandwidth-starved cycles",
                 self.mem.mshr_wait_cycles, self.mem.bw_starved_cycles,
+            );
+        }
+        if self.mem.partitions > 1 {
+            let fills: Vec<String> = self.mem.part_fills.iter().map(u64::to_string).collect();
+            let _ = writeln!(
+                out,
+                "L2 partitions: {}   fills/partition [{}]   imbalance {:.2}   crossbar waits {} cycles",
+                self.mem.partitions,
+                fills.join(", "),
+                self.mem.fill_imbalance(),
+                self.mem.xbar_wait_cycles,
             );
         }
 
@@ -1192,6 +1259,9 @@ mod tests {
                 mshr_occupied_cycles: 4000,
                 mshr_wait_cycles: 77,
                 bw_starved_cycles: 33,
+                partitions: 2,
+                xbar_wait_cycles: 9,
+                part_fills: vec![6, 4],
             },
             sms: vec![
                 SmProfile {
@@ -1244,6 +1314,7 @@ mod tests {
                 l2_requests: 20,
                 dram_requests: 10,
                 bw_wait_cycles: 33,
+                xbar_wait_cycles: 9,
             }],
         };
         let text = profile.to_json();
@@ -1253,6 +1324,9 @@ mod tests {
         assert!((profile.pcs[0].accuracy() - (1.0 - 17.0 / 200.0)).abs() < 1e-12);
         // Fresh transactions = 100 - 5 merges; 20 missed.
         assert!((profile.mem.l1_hit_rate() - (1.0 - 20.0 / 95.0)).abs() < 1e-12);
+        // Busiest partition did 6 of 10 fills against a mean of 5.
+        assert!((profile.mem.fill_imbalance() - 1.2).abs() < 1e-12);
+        assert!((MemSummary::default().fill_imbalance()).abs() < 1e-12);
 
         // Documents written before the memory summary / version field /
         // memory timeline parse with zeroed totals instead of failing.
@@ -1261,15 +1335,16 @@ mod tests {
                 "\"mem\":{\"l1_accesses\":100,\"l1_misses\":20,\"l2_misses\":10,\
                  \"dram_accesses\":10,\"mshr_merges\":5,\"fill_p50\":128,\
                  \"fill_p95\":256,\"fill_max\":300,\"mshr_occupied_cycles\":4000,\
-                 \"mshr_wait_cycles\":77,\"bw_starved_cycles\":33},",
+                 \"mshr_wait_cycles\":77,\"bw_starved_cycles\":33,\
+                 \"partitions\":2,\"xbar_wait_cycles\":9,\"part_fills\":[6,4]},",
                 "",
                 1,
             )
-            .replacen("\"version\":2,", "", 1)
+            .replacen("\"version\":3,", "", 1)
             .replacen(
                 "\"mem_timeline\":[{\"cycle\":1024,\"mshr_occupied_cycles\":2000,\
                  \"mshr_peak\":6,\"l2_requests\":20,\"dram_requests\":10,\
-                 \"bw_wait_cycles\":33}]",
+                 \"bw_wait_cycles\":33,\"xbar_wait_cycles\":9}]",
                 "\"ignored\":0",
                 1,
             );
@@ -1312,6 +1387,9 @@ mod tests {
                 fill_max: 140,
                 mshr_occupied_cycles: 3,
                 bw_starved_cycles: 5,
+                partitions: 2,
+                xbar_wait_cycles: 7,
+                part_fills: vec![1, 1],
                 ..MemSummary::default()
             },
             sms: c.sms().to_vec(),
@@ -1346,6 +1424,8 @@ mod tests {
             "add.i64",
             "fill latency: p50 128   p95 256   max 140",
             "bandwidth-starved",
+            "L2 partitions: 2",
+            "crossbar waits 7 cycles",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

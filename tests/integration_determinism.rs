@@ -37,6 +37,191 @@ fn tight_memory_cfg() -> GpuConfig {
         .with_l2_bw(1)
 }
 
+/// [`tight_memory_cfg`] sharded across `parts` L2 partitions. `l2_bw`
+/// scales with the partition count only because `validate` requires at
+/// least one L2 slot per partition — each partition still owns exactly
+/// one request per cycle, so every lane stays starved.
+fn tight_partitioned_cfg(parts: u32) -> GpuConfig {
+    GpuConfig::scaled(4)
+        .with_mshr_entries(4)
+        .with_dram_bw(1)
+        .with_l2_bw(parts)
+        .with_l2_partitions(parts)
+}
+
+#[test]
+fn partitioned_runs_are_bit_identical_across_threads() {
+    // The partitions x threads matrix: any partition count must be a
+    // pure topology knob for `sim_threads` — partition drains are
+    // ordered by partition index in both drivers, so 1/2/4 workers see
+    // the same per-partition arbiter state.
+    for name in KERNELS {
+        let spec = spec_by_name(name);
+        for parts in [1u32, 2, 4] {
+            let cfg = tight_partitioned_cfg(parts);
+            let (serial, mem_serial) = timed(&spec, &cfg.with_sim_threads(1));
+            for threads in [2u32, 4] {
+                let (parallel, mem_parallel) = timed(&spec, &cfg.with_sim_threads(threads));
+                assert_eq!(
+                    serial.cycles, parallel.cycles,
+                    "{name}: cycles diverge at {parts} partitions / {threads} threads"
+                );
+                assert_eq!(
+                    serial.activity, parallel.activity,
+                    "{name}: activity diverges at {parts} partitions / {threads} threads"
+                );
+                assert_eq!(
+                    mem_serial, mem_parallel,
+                    "{name}: memory diverges at {parts} partitions / {threads} threads"
+                );
+            }
+            // Partitioned results still satisfy the CPU reference.
+            let mut mem = spec.memory.clone();
+            let _ = run_timed(
+                &spec.program,
+                spec.launch,
+                &mut mem,
+                &cfg.with_sim_threads(2),
+            );
+            spec.verify(&mem)
+                .unwrap_or_else(|e| panic!("{name} failed verification: {e}"));
+        }
+    }
+}
+
+#[test]
+fn single_partition_reproduces_pre_crossbar_counters() {
+    // Golden equivalence: with `l2_partitions = 1` the crossbar is
+    // bypassed and the sharded memory subsystem must reproduce the
+    // monolithic pre-refactor model bit-for-bit. These constants were
+    // captured on the starved config before the partition refactor
+    // landed; a drift here means the P=1 degenerate path changed
+    // behaviour, not just shape.
+    struct Golden {
+        name: &'static str,
+        cycles: u64,
+        warp_instructions: u64,
+        l1_accesses: u64,
+        l1_misses: u64,
+        l2_accesses: u64,
+        l2_misses: u64,
+        dram_accesses: u64,
+        mshr_merges: u64,
+        mem_throttle: u64,
+        bw_starved_cycles: u64,
+        noc_flits: u64,
+        fill_count: u64,
+        fill_p50: u64,
+        fill_p95: u64,
+        fill_max: u64,
+        mshr_occupied_cycles: u64,
+        mshr_wait_cycles: u64,
+    }
+    let goldens = [
+        Golden {
+            name: "pathfinder",
+            cycles: 8975,
+            warp_instructions: 2240,
+            l1_accesses: 68,
+            l1_misses: 68,
+            l2_accesses: 68,
+            l2_misses: 68,
+            dram_accesses: 68,
+            mshr_merges: 0,
+            mem_throttle: 0,
+            bw_starved_cycles: 38,
+            noc_flits: 340,
+            fill_count: 68,
+            fill_p50: 511,
+            fill_p95: 511,
+            fill_max: 423,
+            mshr_occupied_cycles: 26928,
+            mshr_wait_cycles: 0,
+        },
+        Golden {
+            name: "histo_K1",
+            cycles: 43200,
+            warp_instructions: 1956,
+            l1_accesses: 8320,
+            l1_misses: 384,
+            l2_accesses: 384,
+            l2_misses: 384,
+            dram_accesses: 384,
+            mshr_merges: 0,
+            mem_throttle: 654,
+            bw_starved_cycles: 38,
+            noc_flits: 1920,
+            fill_count: 384,
+            fill_p50: 1023,
+            fill_p95: 4095,
+            fill_max: 3778,
+            mshr_occupied_cycles: 161323,
+            mshr_wait_cycles: 249419,
+        },
+    ];
+    let cfg = tight_partitioned_cfg(1).with_sim_threads(1);
+    assert_eq!(
+        cfg,
+        tight_memory_cfg().with_l2_partitions(1).with_sim_threads(1),
+        "tight_partitioned_cfg(1) must equal the pre-refactor starved config"
+    );
+    for g in &goldens {
+        let spec = spec_by_name(g.name);
+        let mut mem = spec.memory.clone();
+        let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
+        let out = run_timed_with(
+            &spec.program,
+            spec.launch,
+            &mut mem,
+            &cfg,
+            RunOptions::with_telemetry(&mut tele),
+        );
+        let name = g.name;
+        let a = &out.activity;
+        assert_eq!(out.cycles, g.cycles, "{name}: cycles");
+        assert_eq!(a.warp_instructions, g.warp_instructions, "{name}: insts");
+        assert_eq!(a.l1_accesses, g.l1_accesses, "{name}: l1_accesses");
+        assert_eq!(a.l1_misses, g.l1_misses, "{name}: l1_misses");
+        assert_eq!(a.l2_accesses, g.l2_accesses, "{name}: l2_accesses");
+        assert_eq!(a.l2_misses, g.l2_misses, "{name}: l2_misses");
+        assert_eq!(a.dram_accesses, g.dram_accesses, "{name}: dram_accesses");
+        assert_eq!(a.mshr_merges, g.mshr_merges, "{name}: mshr_merges");
+        assert_eq!(a.mem_throttle, g.mem_throttle, "{name}: mem_throttle");
+        assert_eq!(
+            a.bw_starved_cycles, g.bw_starved_cycles,
+            "{name}: bw_starved_cycles"
+        );
+        assert_eq!(a.noc_flits, g.noc_flits, "{name}: noc_flits");
+        assert_eq!(
+            a.xbar_wait_cycles, 0,
+            "{name}: single partition must never queue at the crossbar"
+        );
+        let r = tele.registry();
+        let fill = r
+            .histogram_by_name("mem.fill_latency")
+            .expect("fill histogram");
+        assert_eq!(fill.count(), g.fill_count, "{name}: fill count");
+        assert_eq!(fill.p50(), g.fill_p50, "{name}: fill p50");
+        assert_eq!(fill.p95(), g.fill_p95, "{name}: fill p95");
+        assert_eq!(fill.max(), g.fill_max, "{name}: fill max");
+        assert_eq!(
+            tele.mem_occupied_cycles(),
+            g.mshr_occupied_cycles,
+            "{name}: MSHR occupancy integral"
+        );
+        assert_eq!(
+            r.counter_by_name("mem.mshr_wait_cycles"),
+            Some(g.mshr_wait_cycles),
+            "{name}: mshr_wait_cycles"
+        );
+        assert_eq!(
+            r.counter_by_name("mem.xbar_wait_cycles"),
+            Some(0),
+            "{name}: xbar_wait_cycles"
+        );
+    }
+}
+
 #[test]
 fn parallel_timed_runs_are_bit_identical_to_serial() {
     for name in KERNELS {
