@@ -1,11 +1,16 @@
 //! Criterion benches: serial vs parallel timed driver on one kernel and
 //! on a suite slice — the wall-clock side of the `sim_threads` knob
 //! (results are bit-identical by construction; see the determinism
-//! integration test).
+//! integration test) — plus event-driven fast-forward on/off on a
+//! memory-starved config, the wall-clock side of the
+//! `GpuConfig::event_driven` knob (same bit-identity contract).
 //!
 //! On a multi-core runner `timed/threads2+` should beat `timed/threads1`
 //! once the kernel has enough resident blocks to spread across SMs; on a
 //! single-core machine the barrier overhead makes them comparable.
+//! `event_driven/on` should beat `event_driven/off` by several × on the
+//! starved config: most SMs spend most cycles parked on in-flight fills
+//! with exact wake hints, which is exactly what the calendar skips.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use st2::prelude::*;
@@ -38,5 +43,59 @@ fn bench_parallel_driver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_driver);
+/// A synthetic pointer-chasing-style load loop: every warp issues a
+/// 32 KiB-strided global load per iteration, so each one misses L1 and
+/// parks on an MSHR fill. With 8 resident warps per block and 8 blocks
+/// per SM this makes the SM issue scan the dominant cost of the
+/// lockstep driver — exactly the work the wake calendar elides.
+fn memory_starved_kernel(num_sms: u32) -> (Program, LaunchConfig, MemImage) {
+    const ITERS: i64 = 4;
+    let mut k = KernelBuilder::new("mem_starved");
+    let tid = k.special(Special::GlobalTid);
+    let base = k.reg();
+    k.imul(base, tid.into(), Operand::Imm(8));
+    let acc = k.reg();
+    k.mov(acc, Operand::Imm(0));
+    k.for_range(Operand::Imm(0), Operand::Imm(ITERS), |k, i| {
+        let addr = k.reg();
+        k.imul(addr, i.into(), Operand::Imm(32 * 1024));
+        k.iadd(addr, addr.into(), base.into());
+        let v = k.reg();
+        k.ld_global_u64(v, addr, 0);
+        k.iadd(acc, acc.into(), v.into());
+    });
+    k.st_global_u64(acc.into(), base, 0);
+    let launch = LaunchConfig::new(num_sms * 8, 256);
+    let mem = MemImage::new(ITERS as u64 * 32 * 1024 + launch.total_threads() * 8);
+    (k.finish(), launch, mem)
+}
+
+/// Event-driven fast-forward on a memory-starved configuration: sixteen
+/// SMs riding a single-request-per-cycle DRAM/L2 with tiny MSHR files,
+/// so nearly every SM is parked on fills nearly every cycle (the
+/// calendar sleeps ~87% of SM-cycles here).
+fn bench_event_driven(c: &mut Criterion) {
+    let starved = GpuConfig::scaled(16)
+        .with_mshr_entries(4)
+        .with_dram_bw(1)
+        .with_l2_bw(1)
+        .with_sim_threads(1);
+    let (program, launch, memory) = memory_starved_kernel(starved.num_sms);
+    let mut group = c.benchmark_group("event_driven");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("starved/off", starved.with_event_driven(false)),
+        ("starved/on", starved),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mem = memory.clone();
+                black_box(run_timed(&program, launch, &mut mem, &cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_driver, bench_event_driven);
 criterion_main!(benches);

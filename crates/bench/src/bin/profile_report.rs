@@ -49,8 +49,11 @@ fn main() -> ExitCode {
     }
 
     // Profile kernels in parallel (each run is deterministic and owns its
-    // collector); print in suite order afterwards.
-    let results: Mutex<Vec<(usize, KernelProfile)>> = Mutex::new(Vec::new());
+    // collector); print in suite order afterwards. Host wall-time per
+    // kernel rides along for the v4 summary's sim-rate column — noisy
+    // under parallel kernels, which is exactly why that column is
+    // report-only downstream.
+    let results: Mutex<Vec<(usize, KernelProfile, f64)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for (i, spec) in specs.into_iter().enumerate() {
             let results = &results;
@@ -58,6 +61,7 @@ fn main() -> ExitCode {
             s.spawn(move || {
                 let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
                 let mut mem = spec.memory.clone();
+                let t0 = std::time::Instant::now();
                 let out = run_timed_with(
                     &spec.program,
                     spec.launch,
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
                     cfg,
                     RunOptions::with_telemetry(&mut tele),
                 );
+                let wall = t0.elapsed().as_secs_f64();
                 spec.verify(&mem)
                     .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
                 let profile = KernelProfile::capture(&tele, spec.name, Some(&spec.program));
@@ -72,13 +77,14 @@ fn main() -> ExitCode {
                 results
                     .lock()
                     .expect("profile results lock")
-                    .push((i, profile));
+                    .push((i, profile, wall));
             });
         }
     });
-    let mut profiles = results.into_inner().expect("profile results lock");
-    profiles.sort_by_key(|(i, _)| *i);
-    let profiles: Vec<KernelProfile> = profiles.into_iter().map(|(_, p)| p).collect();
+    let mut results = results.into_inner().expect("profile results lock");
+    results.sort_by_key(|(i, _, _)| *i);
+    let walls: Vec<f64> = results.iter().map(|(_, _, w)| *w).collect();
+    let profiles: Vec<KernelProfile> = results.into_iter().map(|(_, p, _)| p).collect();
 
     for profile in &profiles {
         print!("{}", profile.render(TOP_N));
@@ -87,10 +93,10 @@ fn main() -> ExitCode {
 
     header("profile summary");
     println!(
-        "{:<14} {:>10} {:>7} {:>7} {:>9} {:>9}",
-        "kernel", "cycles", "IPC", "util%", "top-stall", "fetch_oob"
+        "{:<14} {:>10} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "kernel", "cycles", "IPC", "util%", "top-stall", "fetch_oob", "wall-ms", "kcyc/s"
     );
-    for p in &profiles {
+    for (p, wall) in profiles.iter().zip(&walls) {
         let t = p.total();
         let top = st2::telemetry::profile::ALL_STALL_REASONS
             .iter()
@@ -98,13 +104,15 @@ fn main() -> ExitCode {
             .max_by_key(|r| t.stalls[r.index()])
             .map_or("-", StallReason::name);
         println!(
-            "{:<14} {:>10} {:>7.3} {:>7.1} {:>9} {:>9}",
+            "{:<14} {:>10} {:>7.3} {:>7.1} {:>9} {:>9} {:>9.2} {:>9.0}",
             p.kernel,
             p.cycles,
             p.warp_instructions as f64 / p.cycles.max(1) as f64,
             100.0 * t.issued as f64 / t.slots.max(1) as f64,
             top,
             t.fetch_oob,
+            wall * 1e3,
+            p.cycles as f64 / wall.max(1e-9) / 1e3,
         );
     }
 
@@ -186,9 +194,13 @@ fn main() -> ExitCode {
             "full"
         };
         let generator = format!("profile_report --scale {scale} (GpuConfig default, ST2 on)");
-        let summary = st2_bench::diff::summary_to_json(&st2_bench::diff::summary_from_profiles(
-            &profiles, &generator,
-        ));
+        let mut doc = st2_bench::diff::summary_from_profiles(&profiles, &generator);
+        for (k, wall) in doc.kernels.iter_mut().zip(&walls) {
+            // Milliseconds at microsecond resolution; whole cycles/sec.
+            k.wall_ms = Some((wall * 1e6).round() / 1e3);
+            k.cycles_per_sec = Some((k.cycles as f64 / wall.max(1e-9)).round());
+        }
+        let summary = st2_bench::diff::summary_to_json(&doc);
         let path = dir.join("BENCH_profile.json");
         if let Err(e) = std::fs::write(&path, summary) {
             eprintln!("cannot write {}: {e}", path.display());

@@ -18,9 +18,11 @@ use st2::telemetry::profile::ALL_STALL_REASONS;
 /// Summary document version written by [`summary_to_json`]. Version 2
 /// added fill-latency percentiles, the bandwidth-starvation counter and
 /// the per-reason stall-share map; version 3 added the crossbar-wait
-/// counter and the partition fill-imbalance ratio. Older documents parse
-/// with the newer comparisons skipped.
-pub const SUMMARY_VERSION: u32 = 3;
+/// counter and the partition fill-imbalance ratio; version 4 added host
+/// wall-time and simulated cycles/sec (report-only — host-dependent, so
+/// never gated). Older documents parse with the newer comparisons
+/// skipped.
+pub const SUMMARY_VERSION: u32 = 4;
 
 /// One kernel's summary row. The `Option` fields only exist from
 /// version 2 on: `None` means "baseline predates the metric, skip the
@@ -62,6 +64,13 @@ pub struct KernelSummary {
     /// Per-reason stall shares (fraction of all issue slots, nonzero
     /// reasons only, reason-name order; version ≥ 2).
     pub stall_shares: Option<Vec<(String, f64)>>,
+    /// Host wall-clock time of the timed run in milliseconds
+    /// (version ≥ 4; machine-dependent, report-only).
+    pub wall_ms: Option<f64>,
+    /// Simulated cycles per host second (version ≥ 4;
+    /// machine-dependent, report-only — the sim-rate column in
+    /// `bench_diff` never gates).
+    pub cycles_per_sec: Option<f64>,
 }
 
 /// A whole summary document (the `BENCH_profile.json` envelope).
@@ -122,6 +131,10 @@ pub fn summary_from_profiles(profiles: &[KernelProfile], generator: &str) -> Sum
                 xbar_wait_cycles: Some(p.mem.xbar_wait_cycles),
                 fill_imbalance: Some(round(p.mem.fill_imbalance(), 4)),
                 stall_shares: Some(shares),
+                // Profiles carry no host timing; callers that measured
+                // the runs (profile_report) fill these in afterwards.
+                wall_ms: None,
+                cycles_per_sec: None,
             }
         })
         .collect();
@@ -170,6 +183,12 @@ pub fn summary_to_json(doc: &SummaryDoc) -> String {
         }
         if let Some(v) = k.fill_imbalance {
             w.field_f64("fill_imbalance", v);
+        }
+        if let Some(v) = k.wall_ms {
+            w.field_f64("wall_ms", v);
+        }
+        if let Some(v) = k.cycles_per_sec {
+            w.field_f64("cycles_per_sec", v);
         }
         if let Some(shares) = &k.stall_shares {
             w.key("stall_shares");
@@ -257,6 +276,8 @@ pub fn parse_summary(text: &str) -> Result<SummaryDoc, String> {
             xbar_wait_cycles: opt_u("xbar_wait_cycles"),
             fill_imbalance: k.get("fill_imbalance").and_then(Value::as_f64),
             stall_shares,
+            wall_ms: k.get("wall_ms").and_then(Value::as_f64),
+            cycles_per_sec: k.get("cycles_per_sec").and_then(Value::as_f64),
         });
     }
     Ok(SummaryDoc {
@@ -350,6 +371,24 @@ impl DiffReport {
         for m in &self.added {
             let _ = writeln!(out, "note: kernel {m} only in candidate");
         }
+        let rates: Vec<&DiffLine> = self
+            .lines
+            .iter()
+            .filter(|l| l.metric == "sim_rate")
+            .collect();
+        if !rates.is_empty() {
+            let _ = writeln!(out, "-- sim rate (report-only, host-dependent) --");
+            for l in rates {
+                let _ = writeln!(
+                    out,
+                    "rate       {:<14} {:>12.0} -> {:>12.0} cycles/s ({:+.1}%)",
+                    l.kernel,
+                    l.base,
+                    l.cand,
+                    100.0 * l.delta
+                );
+            }
+        }
         let regressions = self.lines.iter().filter(|l| l.regressed).count();
         let _ = writeln!(
             out,
@@ -384,6 +423,21 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                 delta: -drop,
                 regressed: drop > thr.max_ipc_drop,
             });
+        }
+        // Simulation throughput, version-4 baselines only. Report-only:
+        // host wall-time is noisy and machine-dependent, so the sim-rate
+        // column informs but never gates.
+        if let (Some(bv), Some(cv)) = (b.cycles_per_sec, c.cycles_per_sec) {
+            if bv > 0.0 {
+                report.lines.push(DiffLine {
+                    kernel: b.kernel.clone(),
+                    metric: "sim_rate".into(),
+                    base: bv,
+                    cand: cv,
+                    delta: cv / bv - 1.0,
+                    regressed: false,
+                });
+            }
         }
         // Fill-latency percentile growth, version-2 baselines only.
         for (name, bv, cv) in [
@@ -462,6 +516,8 @@ mod tests {
             xbar_wait_cycles: Some(3),
             fill_imbalance: Some(1.25),
             stall_shares: Some(vec![("mem_pending".into(), mem_share)]),
+            wall_ms: Some(12.5),
+            cycles_per_sec: Some(80000.0),
         }
     }
 
@@ -496,6 +552,8 @@ mod tests {
         assert_eq!(k.stall_shares, None);
         assert_eq!(k.xbar_wait_cycles, None);
         assert_eq!(k.fill_imbalance, None);
+        assert_eq!(k.wall_ms, None);
+        assert_eq!(k.cycles_per_sec, None);
         // Diffing a v2 candidate against it only compares IPC.
         let cand = doc(vec![row("sgemm", 0.65, 300, 0.5)]);
         let report = diff_summaries(&d, &cand, &DiffThresholds::default());
@@ -527,6 +585,22 @@ mod tests {
         // Improvements never fail.
         let fast = doc(vec![row("a", 1.3, 64, 0.25)]);
         assert!(!diff_summaries(&base, &fast, &thr).regressed());
+        // A collapsed sim rate is reported but never gates: host timing
+        // is too noisy to fail a PR on.
+        let mut crawl = row("a", 1.0, 128, 0.30);
+        crawl.cycles_per_sec = Some(800.0);
+        let report = diff_summaries(&base, &doc(vec![crawl]), &thr);
+        assert!(!report.regressed(), "sim_rate must stay report-only");
+        let rate = report
+            .lines
+            .iter()
+            .find(|l| l.metric == "sim_rate")
+            .expect("sim_rate line present");
+        assert!((rate.delta - (800.0 / 80000.0 - 1.0)).abs() < 1e-12);
+        assert!(
+            report.render().contains("sim rate (report-only"),
+            "render shows the informational rate section"
+        );
         // A missing kernel is coverage loss.
         let empty = doc(vec![]);
         let report = diff_summaries(&base, &empty, &thr);

@@ -32,6 +32,9 @@ use st2::sim::ActivityCounters;
 /// * `--l2-partitions <n>` / `--xbar-queue <n>` — L2 partition count
 ///   (power of two) and per-port crossbar queue depth overrides (see
 ///   [`GpuConfig::with_l2_partitions`] / [`GpuConfig::with_xbar_queue`])
+/// * `--no-event-driven` — force the legacy step-everything driver
+///   ([`GpuConfig::event_driven`] off; results are bit-identical, this
+///   is a wall-clock cross-check / escape hatch)
 ///
 /// Unrecognised tokens land in [`BenchArgs::rest`] for binaries with
 /// positional arguments (e.g. `trace_report <kernel> [out_dir]`).
@@ -55,6 +58,8 @@ pub struct BenchArgs {
     pub l2_partitions: Option<u32>,
     /// Crossbar injection-queue depth override (`--xbar-queue`).
     pub xbar_queue: Option<u32>,
+    /// Disable the event-driven fast-forward (`--no-event-driven`).
+    pub no_event_driven: bool,
     /// Everything not consumed by a flag, in order.
     pub rest: Vec<String>,
 }
@@ -116,6 +121,7 @@ impl BenchArgs {
                         _ => args.dram_bw = Some(n),
                     }
                 }
+                "--no-event-driven" => args.no_event_driven = true,
                 _ => args.rest.push(tok),
             }
         }
@@ -150,6 +156,9 @@ impl BenchArgs {
         }
         if let Some(n) = self.xbar_queue {
             cfg = cfg.with_xbar_queue(n);
+        }
+        if self.no_event_driven {
+            cfg = cfg.with_event_driven(false);
         }
         cfg
     }
@@ -376,6 +385,7 @@ mod tests {
             "2",
             "--xbar-queue",
             "4",
+            "--no-event-driven",
         ];
         let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
         assert_eq!(args.scale, Scale::Test);
@@ -390,6 +400,7 @@ mod tests {
         assert_eq!(gpu.dram_bw, 1);
         assert_eq!(gpu.l2_partitions, 2);
         assert_eq!(gpu.xbar_queue, 4);
+        assert!(args.no_event_driven && !gpu.event_driven);
         assert!(args.matches("pathfinder"));
         assert!(!args.matches("histogram"));
     }
@@ -402,6 +413,7 @@ mod tests {
         assert!(args.out.is_none() && args.kernels.is_none() && args.sim_threads.is_none());
         assert!(args.mshr_entries.is_none() && args.l2_bw.is_none() && args.dram_bw.is_none());
         assert!(args.l2_partitions.is_none() && args.xbar_queue.is_none());
+        assert!(!args.no_event_driven);
         assert_eq!(args.rest, vec!["pathfinder", "out_dir"]);
         assert_eq!(
             args.gpu(),

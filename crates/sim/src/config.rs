@@ -115,6 +115,25 @@ pub struct GpuConfig {
     /// Results are bit-identical at every setting; this is purely a
     /// wall-clock knob.
     pub sim_threads: u32,
+
+    /// Event-driven per-SM fast-forward: an SM that issued nothing and
+    /// whose wake hints all lie beyond the next global cycle sleeps on a
+    /// driver-owned wake calendar and is not stepped again until a fill
+    /// retires into one of its MSHR slices or its wake time arrives.
+    /// Results are bit-identical either way (the determinism suite
+    /// asserts it); `false` forces the legacy step-everything path as an
+    /// escape hatch and cross-check. Like `sim_threads`, purely a
+    /// wall-clock knob.
+    pub event_driven: bool,
+}
+
+/// Default for [`GpuConfig::event_driven`]: on. Configs built before the
+/// knob existed ran the (equivalent) step-everything path, so landing
+/// them on the fast path preserves their results. (The vendored
+/// `serde_derive` stub has no `#[serde(default)]` support; constructors
+/// apply this directly.)
+fn default_event_driven() -> bool {
+    true
 }
 
 impl GpuConfig {
@@ -158,6 +177,7 @@ impl GpuConfig {
             scheduler: SchedulerKind::Gto,
             speculation: None,
             sim_threads: 0,
+            event_driven: default_event_driven(),
         }
     }
 
@@ -217,6 +237,14 @@ impl GpuConfig {
     #[must_use]
     pub fn with_sim_threads(mut self, threads: u32) -> Self {
         self.sim_threads = threads;
+        self
+    }
+
+    /// Toggles the event-driven per-SM fast-forward (default on).
+    /// `false` steps every SM every cycle — bit-identical, just slower.
+    #[must_use]
+    pub fn with_event_driven(mut self, on: bool) -> Self {
+        self.event_driven = on;
         self
     }
 
@@ -387,6 +415,16 @@ mod tests {
         c.l1_line = 96;
         c.l2_line = 96;
         assert!(c.validate().is_err(), "non-power-of-two line rejected");
+    }
+
+    #[test]
+    fn event_driven_defaults_on() {
+        // Pin the default (on — bit-identical to off, so legacy configs
+        // land on the fast path safely) and the builder escape hatch.
+        assert!(GpuConfig::titan_v().event_driven);
+        assert!(GpuConfig::scaled(4).event_driven, "inherited via scaled");
+        assert!(!GpuConfig::scaled(4).with_event_driven(false).event_driven);
+        assert!(super::default_event_driven());
     }
 
     #[test]

@@ -498,12 +498,23 @@ impl Partition {
         self.mshrs[sm].retire(now);
     }
 
+    /// Earliest in-flight fill time in SM `sm`'s MSHR slice of this
+    /// partition (`u64::MAX` when the slice is empty): the per-SM
+    /// earliest-completion hint. The event-driven driver sleeps an SM no
+    /// later than the minimum of this over its partitions (surfaced
+    /// through [`MshrView::earliest`] as [`crate::sm::SmCore::fill_wake`]),
+    /// so a fill retiring into a slice is exactly a calendar wake.
+    #[must_use]
+    pub fn earliest_fill(&self, sm: usize) -> u64 {
+        self.mshrs[sm].earliest()
+    }
+
     /// SM `sm`'s MSHR slice state in this partition.
     #[must_use]
     pub fn mshr_view(&self, sm: usize) -> MshrView {
         MshrView {
             free: self.mshrs[sm].free(),
-            earliest: self.mshrs[sm].earliest(),
+            earliest: self.earliest_fill(sm),
             occupied: self.mshrs[sm].entries.len() as u32,
         }
     }
@@ -992,6 +1003,22 @@ mod tests {
         // Once fills land, retirement frees the file again.
         h.retire_fills(0, c.ready_at);
         assert_eq!(h.mshr_state(0).0, cfg.mshr_entries);
+    }
+
+    #[test]
+    fn partition_exports_per_sm_fill_hints() {
+        let cfg = GpuConfig::scaled(2);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        assert_eq!(h.partition_mut(0).earliest_fill(0), u64::MAX);
+        let a = h.access(0, 0x10000, 0, &mut act);
+        let p = h.decoder().decode(0x10000);
+        assert_eq!(h.partition_mut(p).earliest_fill(0), a.ready_at);
+        // Slices are per-SM: the sibling reports no wake.
+        assert_eq!(h.partition_mut(p).earliest_fill(1), u64::MAX);
+        // And the hint clears once the fill retires.
+        h.retire_fills(0, a.ready_at);
+        assert_eq!(h.partition_mut(p).earliest_fill(0), u64::MAX);
     }
 
     #[test]

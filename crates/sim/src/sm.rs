@@ -313,10 +313,29 @@ pub struct SmCore {
     /// mid-step). Stale by at most the accesses issued since the last
     /// drain, which the per-segment decrement below accounts for.
     mem_credit: Vec<u32>,
-    /// Earliest in-flight fill time while an MSHR slice is full
-    /// (`u64::MAX` otherwise): the wake hint for `MemThrottle`-stalled
-    /// warps.
+    /// Earliest in-flight fill time across this SM's MSHR slices
+    /// (`u64::MAX` when none): the wake hint for `MemThrottle`-stalled
+    /// warps, and the unconditional fill wake for the event-driven
+    /// driver (sleeping past it would let a retirement change the
+    /// credit mirrors behind the frozen report's back).
     mem_wake: u64,
+    /// Occupied-MSHR count and any-slice-full flag as of the last
+    /// [`SmCore::complete_memory`]: the values the skipped completion
+    /// phases of a sleeping SM would keep reproducing (no fill retires
+    /// mid-sleep — the driver wakes the core at `mem_wake` — and a
+    /// parked SM allocates nothing), replayed by
+    /// [`SmCore::replay_parked`].
+    last_occupied: u32,
+    last_any_full: bool,
+    /// Earliest future cycle at which a stalled warp's *stall
+    /// classification* — not just its wake time — could change while the
+    /// SM is parked: a scoreboard/mem-pending dependency clearing can
+    /// hand the warp to a pipe stall, and `AdderRepair` consumes repair
+    /// debt every profiled cycle. Bounds how long the frozen
+    /// `cycle_profile` stays replayable; `u64::MAX` when nothing can
+    /// reclassify before `next_wake`. Only maintained when profiling
+    /// (without a collector the profile is never committed).
+    stall_stable_until: u64,
     /// Per-cycle profiling scratch, flushed by [`SmCore::commit_profile`]
     /// once the driver knows the cycle's global length.
     cycle_profile: CycleProfile,
@@ -354,6 +373,9 @@ impl SmCore {
                 cfg.l2_partitions.max(1) as usize
             ],
             mem_wake: u64::MAX,
+            last_occupied: 0,
+            last_any_full: false,
+            stall_stable_until: u64::MAX,
             cycle_profile: CycleProfile::default(),
             stall_scratch: Vec::new(),
         }
@@ -375,6 +397,33 @@ impl SmCore {
     #[must_use]
     pub fn activity(&self) -> &ActivityCounters {
         &self.act
+    }
+
+    /// Earliest in-flight fill across this SM's MSHR slices
+    /// (`u64::MAX` when none), as of the last completion phase. The
+    /// event-driven driver never sleeps an SM past this: waking *at*
+    /// the earliest fill means no retirement can happen mid-sleep, so
+    /// the credit mirrors, occupancy and throttle state stay exactly
+    /// what the frozen report and [`SmCore::replay_parked`] assume.
+    #[must_use]
+    pub fn fill_wake(&self) -> u64 {
+        self.mem_wake
+    }
+
+    /// Whether a resident-block slot is free. An SM that could admit a
+    /// block must stay awake while the grid has blocks left: admission
+    /// is SM-index ordered, so a sleeping admissible SM would steal a
+    /// different block than the step-everything path hands it.
+    #[must_use]
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(Option::is_none)
+    }
+
+    /// Earliest cycle a stalled warp's classification could change (see
+    /// the field docs); the profiling-mode component of the sleep bound.
+    #[must_use]
+    pub fn stall_stable_until(&self) -> u64 {
+        self.stall_stable_until
     }
 
     /// Places block `block` into a free slot, materialising its warps.
@@ -430,6 +479,7 @@ impl SmCore {
         // the same state the issue decision reads and never changes which
         // warps issue, so enabling it cannot perturb timing.
         let profiling = tele.is_enabled();
+        self.stall_stable_until = u64::MAX;
         if profiling {
             self.cycle_profile.reset();
         }
@@ -474,15 +524,22 @@ impl SmCore {
                 break;
             }
             // Split-borrow dance: check conditions first. `reason` is the
-            // profiler's stall attribution (None when issuable), and
+            // profiler's stall attribution (None when issuable),
             // `consume_repair` flags a dependency stall reclassified as
-            // ST² mispredict repair.
-            let (can_issue, wake, reason, consume_repair) = {
+            // ST² mispredict repair, and `stable` is the earliest cycle
+            // this warp's classification could *change* while the SM is
+            // parked (`u64::MAX` = not before its wake): dependency
+            // stalls reclassify when the register clears, and repair
+            // stalls consume debt every profiled cycle so they pin the
+            // SM awake. Done/barrier warps need a sibling to issue
+            // (impossible while parked), throttle clears with the fill
+            // wake, and a pipe stall's transition *is* its wake time.
+            let (can_issue, wake, reason, consume_repair, stable) = {
                 let w = &self.warps[wi];
                 if w.ctx.is_done() {
-                    (false, u64::MAX, Some(StallReason::Done), false)
+                    (false, u64::MAX, Some(StallReason::Done), false, u64::MAX)
                 } else if w.waiting_barrier {
-                    (false, u64::MAX, Some(StallReason::Barrier), false)
+                    (false, u64::MAX, Some(StallReason::Barrier), false, u64::MAX)
                 } else {
                     let pc = w.ctx.stack.pc();
                     let inst = program.fetch(pc).copied().unwrap_or(Inst::Exit);
@@ -513,7 +570,7 @@ impl SmCore {
                     let throttled = is_global_mem(&inst) && self.mem_credit.contains(&0);
                     let at = ready_at.max(pipe_free);
                     if at <= now && !throttled {
-                        (true, at, None, false)
+                        (true, at, None, false, u64::MAX)
                     } else if ready_at > now {
                         // Register dependency binds (checked before the
                         // pipe: the operand must exist before structural
@@ -522,16 +579,28 @@ impl SmCore {
                             .map(|r| w.mem_dep[usize::from(r.0)])
                             .unwrap_or(false);
                         if on_load {
-                            (false, at, Some(StallReason::MemPending), false)
+                            (false, at, Some(StallReason::MemPending), false, ready_at)
                         } else if w.repair_debt > 0 {
-                            (false, at, Some(StallReason::AdderRepair), true)
+                            (false, at, Some(StallReason::AdderRepair), true, now + 1)
                         } else {
-                            (false, at, Some(StallReason::Scoreboard), false)
+                            (false, at, Some(StallReason::Scoreboard), false, ready_at)
                         }
                     } else if throttled {
-                        (false, self.mem_wake, Some(StallReason::MemThrottle), false)
+                        (
+                            false,
+                            self.mem_wake,
+                            Some(StallReason::MemThrottle),
+                            false,
+                            u64::MAX,
+                        )
                     } else {
-                        (false, at, Some(StallReason::pipe(pool.index())), false)
+                        (
+                            false,
+                            at,
+                            Some(StallReason::pipe(pool.index())),
+                            false,
+                            u64::MAX,
+                        )
                     }
                 }
             };
@@ -540,6 +609,7 @@ impl SmCore {
                     report.next_wake = report.next_wake.min(wake.max(now + 1));
                 }
                 if profiling {
+                    self.stall_stable_until = self.stall_stable_until.min(stable);
                     if consume_repair {
                         self.warps[wi].repair_debt -= 1;
                     }
@@ -854,6 +924,29 @@ impl SmCore {
         }
         tele.mem_occupancy(self.index, occupied, dt);
         self.mem_wake = earliest;
+        self.last_occupied = occupied;
+        self.last_any_full = any_full;
+    }
+
+    /// Replays the side effects of the driver iterations a sleeping SM
+    /// skipped: `iters` completion phases spanning `cycles` clock ticks.
+    /// Bit-identical to having run them because nothing they read can
+    /// change while the SM sleeps — the core issues nothing (so the
+    /// frozen `cycle_profile`, queue and scoreboard are fixed points),
+    /// no fill retires before `fill_wake` (so occupancy and the
+    /// any-slice-full gate are frozen), and the profile commit is linear
+    /// in `dt` for a zero-issue cycle (every accumulator is `+= k * dt`
+    /// with `k` from the frozen profile). The throttle counter counts
+    /// completion *calls*, not cycles, hence the separate `iters`.
+    pub fn replay_parked(&mut self, iters: u64, cycles: u64, tele: &mut Telemetry) {
+        if cycles == 0 {
+            return;
+        }
+        if self.last_any_full {
+            self.act.mem_throttle += iters;
+        }
+        tele.mem_occupancy(self.index, self.last_occupied, cycles);
+        tele.profile_commit(self.index, cycles, &self.cycle_profile);
     }
 
     /// Single-SM bundle of the whole memory phase: retire fills, route

@@ -47,7 +47,9 @@ use crate::sm::{CycleReport, SmCore};
 use crate::stats::ActivityCounters;
 use st2_isa::{LaunchConfig, MemImage, Program};
 use st2_telemetry::Telemetry;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
 /// Result of a timed run.
@@ -57,6 +59,16 @@ pub struct TimedOutput {
     pub cycles: u64,
     /// Component activity for the power model.
     pub activity: ActivityCounters,
+    /// SM-cycles the event-driven driver skipped: clock ticks spent
+    /// parked on the wake calendar, summed over SMs. Zero with
+    /// [`GpuConfig::event_driven`] off or when nothing ever slept.
+    /// Diagnostic only — deliberately not part of [`ActivityCounters`]
+    /// (the power model's activity is identical either way).
+    pub sm_sleep_cycles: u64,
+    /// Calendar wakeups: times a sleeping SM was roused (its wake time
+    /// or earliest fill arrived). Telemetry-boundary replays keep the
+    /// SM parked and are not counted.
+    pub ff_wakeups: u64,
 }
 
 /// Options shared by the unified run entry points
@@ -167,6 +179,167 @@ fn next_cycle(now: u64, any_issued: bool, next_wake: u64) -> u64 {
     }
 }
 
+/// Driver-side bookkeeping for the event-driven per-SM fast-forward
+/// ([`GpuConfig::event_driven`]): which SMs are parked, the cycle-keyed
+/// wake calendar, and the replay windows that make skipping bit-exact.
+///
+/// The invariant that keeps results identical to the step-everything
+/// path is that the driver reproduces the **same global iteration
+/// sequence**: a sleeping SM's last [`CycleReport`] keeps feeding the
+/// clock aggregation (its `next_wake` is a fixed point while nothing it
+/// depends on changes), so every `next_cycle` decision is unchanged —
+/// the SM merely skips its per-iteration work, and the skipped side
+/// effects (throttle counting, occupancy integration, the slot-exact
+/// stall replay) are committed later by [`SmCore::replay_parked`] over
+/// the recorded `(iterations, cycles)` window. An SM may only sleep
+/// when it issued nothing, cannot admit a block, and its wake —
+/// `min(next_wake, fill_wake, stall_stable_until)` — lies beyond the
+/// next clock stop; it is roused no later than that wake, so no fill
+/// retirement, reclassification or admission it could observe is ever
+/// missed.
+struct WakeCalendar {
+    enabled: bool,
+    asleep: Vec<bool>,
+    /// Start of each sleeper's unreplayed window: first skipped clock
+    /// cycle and first skipped driver iteration.
+    from_cycle: Vec<u64>,
+    from_iter: Vec<u64>,
+    /// Min-heap of `(wake_cycle, sm)` — the calendar proper.
+    calendar: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Committed driver iterations so far (the break iteration is never
+    /// committed). Replay needs iteration counts separately from cycle
+    /// counts: the any-slice-full throttle charge is per completion
+    /// *call*, while the telemetry integrals scale with `dt`.
+    iter: u64,
+    /// Next telemetry snapshot boundary — mirrors `Telemetry`'s cadence
+    /// (first at `interval_cycles`, then every interval; `u64::MAX`
+    /// when disabled). Sleepers must replay up to a boundary *before*
+    /// the snapshot fires so interval rows match the lockstep path.
+    next_flush: u64,
+    interval: u64,
+    sleep_cycles: u64,
+    wakeups: u64,
+}
+
+impl WakeCalendar {
+    fn new(cfg: &GpuConfig, tele: &Telemetry, num_sms: usize) -> Self {
+        let interval = tele.config().interval_cycles.max(1);
+        WakeCalendar {
+            enabled: cfg.event_driven,
+            asleep: vec![false; num_sms],
+            from_cycle: vec![0; num_sms],
+            from_iter: vec![0; num_sms],
+            calendar: BinaryHeap::new(),
+            iter: 0,
+            next_flush: if tele.is_enabled() {
+                interval
+            } else {
+                u64::MAX
+            },
+            interval,
+            sleep_cycles: 0,
+            wakeups: 0,
+        }
+    }
+
+    fn is_asleep(&self, sm: usize) -> bool {
+        self.asleep[sm]
+    }
+
+    /// Parks `sm` after this iteration's completion phase if it is
+    /// eligible: nothing issued (an issuing report cannot be replayed),
+    /// no admissible block slot (`admissible`), and a wake strictly
+    /// beyond the next clock stop. Returns whether it slept.
+    fn try_sleep(
+        &mut self,
+        sm: usize,
+        core: &SmCore,
+        report: CycleReport,
+        next_now: u64,
+        admissible: bool,
+    ) -> bool {
+        if !self.enabled || report.issued || admissible {
+            return false;
+        }
+        let wake = report
+            .next_wake
+            .min(core.fill_wake())
+            .min(core.stall_stable_until());
+        if wake <= next_now {
+            return false;
+        }
+        self.asleep[sm] = true;
+        self.calendar.push(Reverse((wake, sm)));
+        self.from_cycle[sm] = next_now;
+        self.from_iter[sm] = self.iter + 1;
+        true
+    }
+
+    /// Collects into `out` (SM-index order) every sleeper that needs a
+    /// replay at the end of the iteration closing at `next_now`: all of
+    /// them when a telemetry boundary was crossed (they stay parked),
+    /// plus calendar entries that came due (marked awake and counted as
+    /// wakeups). The caller must [`WakeCalendar::flush`] each before
+    /// advancing telemetry past `next_now`, then call
+    /// [`WakeCalendar::end_iteration`].
+    fn due(&mut self, next_now: u64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.next_flush <= next_now {
+            out.extend((0..self.asleep.len()).filter(|&sm| self.asleep[sm]));
+            while self.next_flush <= next_now {
+                self.next_flush += self.interval;
+            }
+        }
+        while let Some(&Reverse((at, sm))) = self.calendar.peek() {
+            if at > next_now {
+                break;
+            }
+            self.calendar.pop();
+            debug_assert!(self.asleep[sm], "calendar entry for an awake SM");
+            self.asleep[sm] = false;
+            self.wakeups += 1;
+            out.push(sm);
+        }
+        // SM-index order keeps profile commits in the same cross-SM
+        // order as the lockstep path (the hot-PC table is insertion-
+        // ordered at capacity); boundary + wake can list an SM twice.
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Replays `core`'s skipped window through the *committed* iteration
+    /// closing at `next_now` and rebases the window (for a boundary
+    /// flush) or finishes it (for a wake — the flag already flipped in
+    /// [`WakeCalendar::due`]).
+    fn flush(&mut self, sm: usize, core: &mut SmCore, next_now: u64, tele: &mut Telemetry) {
+        let iters = self.iter + 1 - self.from_iter[sm];
+        let cycles = next_now - self.from_cycle[sm];
+        self.sleep_cycles += cycles;
+        core.replay_parked(iters, cycles, tele);
+        self.from_cycle[sm] = next_now;
+        self.from_iter[sm] = self.iter + 1;
+    }
+
+    /// Replay at the exit break. The breaking iteration is never
+    /// committed — the lockstep path breaks before its completion phase
+    /// — so the window closes at the break iteration's *start* clock
+    /// `now` and excludes the break iteration itself.
+    fn flush_at_exit(&mut self, sm: usize, core: &mut SmCore, now: u64, tele: &mut Telemetry) {
+        if !self.asleep[sm] {
+            return;
+        }
+        let iters = self.iter - self.from_iter[sm];
+        let cycles = now - self.from_cycle[sm];
+        self.sleep_cycles += cycles;
+        core.replay_parked(iters, cycles, tele);
+        self.asleep[sm] = false;
+    }
+
+    fn end_iteration(&mut self) {
+        self.iter += 1;
+    }
+}
+
 /// The serial driver (`sim_threads = 1`): steps SMs in index order on
 /// the calling thread.
 fn run_serial(
@@ -192,28 +365,48 @@ fn run_serial(
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
+    let mut reports: Vec<CycleReport> = vec![CycleReport::default(); cfg.num_sms as usize];
+    let mut cal = WakeCalendar::new(cfg, tele, cfg.num_sms as usize);
+    let mut due: Vec<usize> = Vec::new();
 
     loop {
         // Phase 1: admission, at most one block per SM per cycle.
-        for core in cores.iter_mut() {
+        // Sleeping SMs have no free slot (they would not have slept),
+        // so skipping them cannot steal a block from the serial order.
+        for (sm, core) in cores.iter_mut().enumerate() {
+            if cal.is_asleep(sm) {
+                debug_assert!(
+                    !core.has_free_slot() || next_block >= launch.grid_dim,
+                    "sleeping SM could have admitted a block"
+                );
+                continue;
+            }
             if next_block < launch.grid_dim && core.admit_block(next_block, program, launch) {
                 next_block += 1;
             }
         }
 
-        // Phase 2: step every core.
+        // Phase 2: step every awake core; sleeping cores contribute
+        // their frozen report (a fixed point of the state they slept
+        // in), so the clock aggregation below is unchanged.
         let mut any_resident = false;
         let mut any_issued = false;
         let mut next_wake = u64::MAX;
         let mut busy_sms = 0u64;
-        for (core, queue) in cores.iter_mut().zip(queues.iter_mut()) {
-            let r = core.step_cycle(now, program, launch, &mut *global, queue, tele);
+        for (sm, (core, queue)) in cores.iter_mut().zip(queues.iter_mut()).enumerate() {
+            if !cal.is_asleep(sm) {
+                reports[sm] = core.step_cycle(now, program, launch, &mut *global, queue, tele);
+            }
+            let r = reports[sm];
             any_resident |= r.resident;
             any_issued |= r.issued;
             next_wake = next_wake.min(r.next_wake);
             busy_sms += u64::from(r.resident);
         }
         if !any_resident && next_block >= launch.grid_dim {
+            for (sm, core) in cores.iter_mut().enumerate() {
+                cal.flush_at_exit(sm, core, now, tele);
+            }
             break;
         }
 
@@ -225,28 +418,51 @@ fn run_serial(
         // 3a: retire landed fills. Retirement touches only the owning
         // SM's MSHR slices — no shared arbiter state — so hoisting it
         // ahead of every access reorders only commuting operations.
+        // Sleeping SMs are skipped: while parked, `now` stays below
+        // their earliest in-flight fill (part of the wake key), so
+        // retirement would be a no-op anyway.
         for sm in 0..cores.len() {
-            hier.retire_fills(sm, now);
+            if !cal.is_asleep(sm) {
+                hier.retire_fills(sm, now);
+            }
         }
         // 3b: route every queue into the partition lanes (SM-index,
         // issue order), drain the partitions in index order, and gather
-        // the results back per SM.
+        // the results back per SM. Sleeping SMs queued nothing, and
+        // lanes with no queued requests have nothing to serve.
         for (sm, queue) in queues.iter_mut().enumerate() {
-            route_requests(queue, sm, &decoder, &mut lanes, &mut completions[sm]);
+            if !cal.is_asleep(sm) {
+                route_requests(queue, sm, &decoder, &mut lanes, &mut completions[sm]);
+            }
         }
         for (p, lane) in lanes.iter_mut().enumerate() {
-            lane.drain(hier.partition_mut(p), now);
+            if !lane.reqs.is_empty() {
+                lane.drain(hier.partition_mut(p), now);
+            }
         }
         gather_results(&mut lanes, &mut completions);
-        // 3c: per-SM completion in SM-index order.
+        // 3c: per-SM completion in SM-index order. Sleeping SMs are a
+        // fixed point here (no completions, no barrier to release, no
+        // block to retire, profile replayed later), so they skip the
+        // whole phase; awake SMs then get a chance to park.
         for (sm, core) in cores.iter_mut().enumerate() {
+            if cal.is_asleep(sm) {
+                continue;
+            }
             hier.mshr_views(sm, &mut views);
             core.complete_memory(&mut completions[sm], &views, now, dt, tele);
             core.finish_cycle();
             core.commit_profile(dt, tele);
+            let admissible = core.has_free_slot() && next_block < launch.grid_dim;
+            cal.try_sleep(sm, core, reports[sm], next_now, admissible);
         }
         act.active_sm_cycles += busy_sms * dt;
         act.idle_sm_cycles += (u64::from(cfg.num_sms) - busy_sms) * dt;
+        cal.due(next_now, &mut due);
+        for &sm in &due {
+            cal.flush(sm, &mut cores[sm], next_now, tele);
+        }
+        cal.end_iteration();
         now = next_now;
         tele.advance(now);
         assert!(now < MAX_CYCLES, "simulation exceeded cycle limit");
@@ -260,6 +476,8 @@ fn run_serial(
     TimedOutput {
         cycles: now,
         activity: act,
+        sm_sleep_cycles: cal.sleep_cycles,
+        ff_wakeups: cal.wakeups,
     }
 }
 
@@ -334,17 +552,28 @@ fn run_parallel(
             })
         })
         .collect();
-    let num_parts = parts.len();
     let mut completions: Vec<Vec<Completion>> = (0..num_sms).map(|_| Vec::new()).collect();
     let mut views: Vec<Vec<MshrView>> = (0..num_sms).map(|_| Vec::new()).collect();
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
+    let mut cal = WakeCalendar::new(cfg, tele, num_sms);
+    let mut due: Vec<usize> = Vec::new();
+    // Shared work queues: the driver publishes the awake-SM worklist and
+    // the nonempty-lane drain list each cycle; workers pull indices with
+    // an atomic cursor instead of striding fixed ranges, so a lopsided
+    // sleep pattern cannot idle a worker while another is saturated.
+    let worklist: RwLock<Vec<usize>> = RwLock::new(Vec::new());
+    let sm_cursor = AtomicUsize::new(0);
+    let drain_list: RwLock<Vec<usize>> = RwLock::new(Vec::new());
+    let part_cursor = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
-        for t in 0..threads {
+        for _ in 0..threads {
             let (barrier, clock, done) = (&barrier, &clock, &done);
             let (units, parts, image) = (&units, &parts, &image);
+            let (worklist, sm_cursor) = (&worklist, &sm_cursor);
+            let (drain_list, part_cursor) = (&drain_list, &part_cursor);
             s.spawn(move || {
                 let mut global = SharedGlobal::new(image);
                 loop {
@@ -353,24 +582,36 @@ fn run_parallel(
                         break;
                     }
                     let now = clock.load(Ordering::Acquire);
-                    for i in (t..num_sms).step_by(threads) {
-                        let mut unit = units[i].lock().expect("sm unit lock");
-                        let unit = &mut *unit;
-                        unit.report = unit.core.step_cycle(
-                            now,
-                            program,
-                            launch,
-                            &mut global,
-                            &mut unit.queue,
-                            &mut unit.tele,
-                        );
+                    {
+                        // The barrier pair publishes the list and zeroed
+                        // cursor; Relaxed suffices for claiming slots.
+                        let awake = worklist.read().expect("awake worklist lock");
+                        loop {
+                            let k = sm_cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = awake.get(k) else { break };
+                            let mut unit = units[i].lock().expect("sm unit lock");
+                            let unit = &mut *unit;
+                            unit.report = unit.core.step_cycle(
+                                now,
+                                program,
+                                launch,
+                                &mut global,
+                                &mut unit.queue,
+                                &mut unit.tele,
+                            );
+                        }
                     }
                     barrier.wait(); // B: end of step phase (main routes)
                     barrier.wait(); // C: start of partition drain
-                    for p in (t..num_parts).step_by(threads) {
-                        let mut pu = parts[p].lock().expect("partition lock");
-                        let pu = &mut *pu;
-                        pu.lane.drain(&mut pu.part, now);
+                    {
+                        let drains = drain_list.read().expect("drain list lock");
+                        loop {
+                            let k = part_cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&p) = drains.get(k) else { break };
+                            let mut pu = parts[p].lock().expect("partition lock");
+                            let pu = &mut *pu;
+                            pu.lane.drain(&mut pu.part, now);
+                        }
                     }
                     barrier.wait(); // D: end of drain (main completes)
                 }
@@ -379,9 +620,14 @@ fn run_parallel(
 
         loop {
             // Phase 1: admission (workers are parked at barrier A).
-            for unit in units.iter() {
+            // Sleeping SMs have no free slot, so skipping them cannot
+            // steal a block from the SM-index admission order.
+            for (sm, unit) in units.iter().enumerate() {
                 if next_block >= launch.grid_dim {
                     break;
+                }
+                if cal.is_asleep(sm) {
+                    continue;
                 }
                 let mut unit = unit.lock().expect("sm unit lock");
                 if unit.core.admit_block(next_block, program, launch) {
@@ -389,11 +635,21 @@ fn run_parallel(
                 }
             }
 
-            // Phase 2: let the workers step this cycle.
+            // Phase 2: publish the awake worklist and let the workers
+            // step this cycle.
+            {
+                let mut awake = worklist.write().expect("awake worklist lock");
+                awake.clear();
+                awake.extend((0..num_sms).filter(|&sm| !cal.is_asleep(sm)));
+            }
+            sm_cursor.store(0, Ordering::Relaxed);
             clock.store(now, Ordering::Release);
             barrier.wait(); // A
             barrier.wait(); // B
 
+            // Sleeping units keep their frozen `report` — a fixed point
+            // of the state they slept in — so this aggregation matches
+            // the step-everything path bit for bit.
             let mut any_resident = false;
             let mut any_issued = false;
             let mut next_wake = u64::MAX;
@@ -406,6 +662,15 @@ fn run_parallel(
                 busy_sms += u64::from(r.resident);
             }
             if !any_resident && next_block >= launch.grid_dim {
+                for (sm, unit) in units.iter().enumerate() {
+                    if cal.is_asleep(sm) {
+                        let mut unit = unit.lock().expect("sm unit lock");
+                        let unit = &mut *unit;
+                        cal.flush_at_exit(sm, &mut unit.core, now, &mut unit.tele);
+                    }
+                }
+                drain_list.write().expect("drain list lock").clear();
+                part_cursor.store(0, Ordering::Relaxed);
                 done.store(true, Ordering::Release);
                 barrier.wait(); // C: workers drain their (empty) lanes
                 barrier.wait(); // D
@@ -424,11 +689,17 @@ fn run_parallel(
                     .map(|p| p.lock().expect("partition lock"))
                     .collect();
                 for sm in 0..num_sms {
+                    if cal.is_asleep(sm) {
+                        continue; // no fill can land before its wake
+                    }
                     for g in guards.iter_mut() {
                         g.part.retire_fills(sm, now);
                     }
                 }
                 for (sm, unit) in units.iter().enumerate() {
+                    if cal.is_asleep(sm) {
+                        continue; // did not step: queue is empty
+                    }
                     let mut unit = unit.lock().expect("sm unit lock");
                     for (token, addr, store) in unit.queue.drain() {
                         let p = decoder.decode(addr);
@@ -446,6 +717,18 @@ fn run_parallel(
                         });
                     }
                 }
+                // Publish the drain list: only lanes that received
+                // requests this cycle are worth a worker's visit.
+                let mut drains = drain_list.write().expect("drain list lock");
+                drains.clear();
+                drains.extend(
+                    guards
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| !g.lane.reqs.is_empty())
+                        .map(|(p, _)| p),
+                );
+                part_cursor.store(0, Ordering::Relaxed);
             }
 
             // Phase 3b: workers drain the partitions concurrently
@@ -470,11 +753,17 @@ fn run_parallel(
                     }
                 }
                 for (sm, v) in views.iter_mut().enumerate() {
+                    if cal.is_asleep(sm) {
+                        continue; // frozen credit mirror stays valid
+                    }
                     v.clear();
                     v.extend(guards.iter().map(|g| g.part.mshr_view(sm)));
                 }
             }
             for (sm, unit) in units.iter().enumerate() {
+                if cal.is_asleep(sm) {
+                    continue; // fixed point: replayed on wake/boundary
+                }
                 let mut unit = unit.lock().expect("sm unit lock");
                 let unit = &mut *unit;
                 unit.core.complete_memory(
@@ -487,9 +776,19 @@ fn run_parallel(
                 unit.core.finish_cycle();
                 unit.core.commit_profile(dt, &mut unit.tele);
                 unit.tele.advance(next_now);
+                let admissible = unit.core.has_free_slot() && next_block < launch.grid_dim;
+                cal.try_sleep(sm, &unit.core, unit.report, next_now, admissible);
             }
             act.active_sm_cycles += busy_sms * dt;
             act.idle_sm_cycles += (num_sms as u64 - busy_sms) * dt;
+            cal.due(next_now, &mut due);
+            for &sm in &due {
+                let mut unit = units[sm].lock().expect("sm unit lock");
+                let unit = &mut *unit;
+                cal.flush(sm, &mut unit.core, next_now, &mut unit.tele);
+                unit.tele.advance(next_now);
+            }
+            cal.end_iteration();
             now = next_now;
             assert!(now < MAX_CYCLES, "simulation exceeded cycle limit");
         }
@@ -508,6 +807,8 @@ fn run_parallel(
     TimedOutput {
         cycles: now,
         activity: act,
+        sm_sleep_cycles: cal.sleep_cycles,
+        ff_wakeups: cal.wakeups,
     }
 }
 

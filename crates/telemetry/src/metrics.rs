@@ -130,13 +130,12 @@ impl Histogram {
 
     /// The `p`-quantile of the recorded samples at bucket resolution:
     /// the upper bound of the bucket containing the sample of rank
-    /// `ceil(p * count)` (clamped to `[1, count]`). Returns 0 on an
-    /// empty histogram. Pure integer bucket arithmetic, so per-SM
-    /// histograms merged with [`Histogram::merge`] yield bit-identical
-    /// percentiles regardless of merge order.
-    ///
-    /// The overflow bucket (`[2^63, u64::MAX]`) reports its upper bound
-    /// like any other; use [`Histogram::max`] for the exact maximum.
+    /// `ceil(p * count)` (clamped to `[1, count]`), itself clamped to
+    /// the recorded maximum so a reported percentile never exceeds any
+    /// observed sample. Returns 0 on an empty histogram. Pure integer
+    /// bucket arithmetic, so per-SM histograms merged with
+    /// [`Histogram::merge`] yield bit-identical percentiles regardless
+    /// of merge order.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -148,7 +147,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= rank {
-                return Self::bucket_bounds(i).1;
+                return Self::bucket_bounds(i).1.min(self.max);
             }
         }
         self.max
@@ -465,14 +464,15 @@ mod tests {
     #[test]
     fn percentiles_single_bucket() {
         // All samples in one bucket: every percentile reports that
-        // bucket's upper bound.
+        // bucket's upper bound clamped to the observed maximum — a
+        // percentile must never exceed a value that was actually seen.
         let mut h = Histogram::default();
         for _ in 0..10 {
-            h.record(5); // bucket [4, 7]
+            h.record(5); // bucket [4, 7], max 5
         }
-        assert_eq!(h.p50(), 7);
-        assert_eq!(h.p95(), 7);
-        assert_eq!(h.percentile(0.01), 7);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.p95(), 5);
+        assert_eq!(h.percentile(0.01), 5);
         assert_eq!(h.max(), 5);
         // Exact zeros stay in the zero bucket.
         let mut z = Histogram::default();
@@ -484,7 +484,8 @@ mod tests {
     #[test]
     fn percentiles_split_across_buckets() {
         // 90 small samples, 10 large: p50 sits in the small bucket,
-        // p95 in the large one.
+        // p95 in the large one (clamped to the recorded max of 1000,
+        // not the bucket bound 1023).
         let mut h = Histogram::default();
         for _ in 0..90 {
             h.record(3); // bucket [2, 3]
@@ -494,20 +495,20 @@ mod tests {
         }
         assert_eq!(h.p50(), 3);
         assert_eq!(h.percentile(0.90), 3);
-        assert_eq!(h.p95(), 1023);
-        assert_eq!(h.percentile(1.0), 1023);
+        assert_eq!(h.p95(), 1000);
+        assert_eq!(h.percentile(1.0), 1000);
     }
 
     #[test]
     fn percentiles_overflow_bucket() {
-        // Samples in the top bucket [2^63, u64::MAX]: the percentile
-        // reports the bucket's upper bound; `max` stays exact.
+        // Samples in the top bucket [2^63, u64::MAX]: the bucket's
+        // upper bound clamps to the exact recorded maximum.
         let mut h = Histogram::default();
         h.record(u64::MAX - 3);
         h.record(1 << 63);
         assert_eq!(Histogram::bucket_index(u64::MAX - 3), 64);
-        assert_eq!(h.percentile(1.0), u64::MAX);
-        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX - 3);
+        assert_eq!(h.p50(), u64::MAX - 3);
         assert_eq!(h.max(), u64::MAX - 3);
     }
 
@@ -548,8 +549,10 @@ mod tests {
 
         proptest! {
             /// Merging two histograms keeps every percentile within the
-            /// bounds set by the parts: the merged quantile can never
-            /// escape `[min(pa, pb), max(pa, pb)]`.
+            /// bucket range spanned by the parts (values compare at
+            /// bucket granularity because the max-clamp can differ per
+            /// histogram), and the clamp guarantees the merged quantile
+            /// never exceeds the merged maximum.
             #[test]
             fn merge_preserves_percentile_bounds(
                 a in prop::collection::vec(0u64..1 << 40, 1..64),
@@ -561,12 +564,21 @@ mod tests {
                 merged.merge(&hb);
                 let (pa, pb) = (ha.percentile(p), hb.percentile(p));
                 let pm = merged.percentile(p);
-                prop_assert!(pm >= pa.min(pb) && pm <= pa.max(pb),
-                    "p{p}: merged {pm} outside [{}, {}]", pa.min(pb), pa.max(pb));
+                // The clamp lands inside the quantile's bucket (the max
+                // is ≥ that bucket's lower bound), so bucket indices
+                // compare the unclamped quantile positions.
+                let (ba, bb, bm) = (
+                    Histogram::bucket_index(pa),
+                    Histogram::bucket_index(pb),
+                    Histogram::bucket_index(pm),
+                );
+                prop_assert!(bm >= ba.min(bb) && bm <= ba.max(bb),
+                    "p{p}: merged bucket {bm} outside [{}, {}]",
+                    ba.min(bb), ba.max(bb));
                 prop_assert_eq!(merged.count(), ha.count() + hb.count());
                 prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
-                prop_assert!(pm <= Histogram::bucket_bounds(
-                    Histogram::bucket_index(merged.max())).1);
+                prop_assert!(pm <= merged.max(),
+                    "p{p}: merged {pm} exceeds observed max {}", merged.max());
             }
         }
     }
