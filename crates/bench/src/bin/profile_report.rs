@@ -38,6 +38,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cfg = args.gpu().with_st2();
+    // Price the energy-event timelines with the characterised model.
+    // Reporting-layer only: pricing after capture leaves the integer
+    // timelines (and so every determinism comparison) untouched.
+    let weights = EnergyModel::characterized().interval_weights(cfg.clock_ghz);
 
     let specs: Vec<KernelSpec> = suite(args.scale)
         .into_iter()
@@ -72,7 +76,8 @@ fn main() -> ExitCode {
                 let wall = t0.elapsed().as_secs_f64();
                 spec.verify(&mem)
                     .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.name));
-                let profile = KernelProfile::capture(&tele, spec.name, Some(&spec.program));
+                let mut profile = KernelProfile::capture(&tele, spec.name, Some(&spec.program));
+                profile.attach_energy(&weights);
                 check_reconciliation(&profile, cfg, out.cycles);
                 results
                     .lock()
@@ -147,20 +152,47 @@ fn main() -> ExitCode {
         );
         for p in &profiles {
             let fills: Vec<String> = p.mem.part_fills.iter().map(u64::to_string).collect();
+            // Busiest/mean is identically 1 with a single partition —
+            // undefined as a balance measure, so render a dash.
+            let imbalance = if p.mem.partitions > 1 {
+                format!("{:.2}", p.mem.fill_imbalance())
+            } else {
+                "—".into()
+            };
             println!(
-                "{:<14} {:>6} {:>11.2} {:>10} {:>24}",
+                "{:<14} {:>6} {:>11} {:>10} {:>24}",
                 p.kernel,
                 p.mem.partitions,
-                p.mem.fill_imbalance(),
+                imbalance,
                 p.mem.xbar_wait_cycles,
                 format!("[{}]", fills.join(", ")),
             );
         }
     }
 
+    header("energy report (characterised model)");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>10} {:>9} {:>8} {:>12}",
+        "kernel", "total-nJ", "dram-nJ", "issue-nJ", "static-nJ", "EPI-pJ", "peak-W", "peak@cycle"
+    );
+    for p in &profiles {
+        let Some(e) = p.energy else { continue };
+        println!(
+            "{:<14} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>9.2} {:>8.3} {:>12}",
+            p.kernel,
+            e.total_nj,
+            e.dram_nj,
+            e.issue_nj,
+            e.static_nj,
+            e.energy_per_instruction_pj,
+            e.peak_power_w,
+            e.peak_power_cycle,
+        );
+    }
+
     header("memory deep-dive (per-interval timeline)");
     for p in &profiles {
-        render_memory_deep_dive(p, &cfg);
+        render_memory_deep_dive(p, &cfg, &weights);
     }
 
     if let Some(dir) = &args.out {
@@ -214,19 +246,35 @@ fn main() -> ExitCode {
 /// Prints one kernel's memory timeline: average/peak MSHR occupancy,
 /// L2/DRAM bandwidth utilisation against the configured per-cycle
 /// budgets, and bandwidth-wait cycles, interval by interval next to the
-/// issue-slot utilisation of the same interval.
-fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
+/// issue-slot utilisation and modeled average power of the same
+/// interval.
+fn render_memory_deep_dive(
+    p: &KernelProfile,
+    cfg: &GpuConfig,
+    weights: &st2::telemetry::EnergyWeights,
+) {
     if p.mem_timeline.iter().all(|m| m.l2_requests == 0) {
         println!("{:<14} (no global-memory traffic)", p.kernel);
         return;
     }
     println!("{}:", p.kernel);
     println!(
-        "  {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8}",
-        "cycle", "mshr-avg", "mshr-pk", "L2-bw%", "dram-bw%", "bw-wait", "xbar-wait", "issue%"
+        "  {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "cycle",
+        "mshr-avg",
+        "mshr-pk",
+        "L2-bw%",
+        "dram-bw%",
+        "bw-wait",
+        "xbar-wait",
+        "issue%",
+        "power-W"
     );
     const MAX_ROWS: usize = 16;
     let rows = p.mem_timeline.len();
+    // Power rows skip zero-length intervals, so match them by end cycle
+    // rather than by index.
+    let power = p.power_timeline(weights);
     let mut prev = 0u64;
     for (i, m) in p.mem_timeline.iter().take(MAX_ROWS).enumerate() {
         let dt = (m.cycle - prev).max(1) as f64;
@@ -236,8 +284,12 @@ fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
         let issue = p.occupancy.get(i).map_or(0.0, |o| {
             100.0 * o.issued_slots as f64 / o.total_slots.max(1) as f64
         });
+        let watts = power
+            .iter()
+            .find(|(c, _)| *c == m.cycle)
+            .map_or(0.0, |(_, w)| *w);
         println!(
-            "  {:>10} {:>9.2} {:>9} {:>8.1} {:>8.1} {:>9} {:>9} {:>8.1}",
+            "  {:>10} {:>9.2} {:>9} {:>8.1} {:>8.1} {:>9} {:>9} {:>8.1} {:>8.3}",
             m.cycle,
             m.mshr_occupied_cycles as f64 / dt,
             m.mshr_peak,
@@ -246,6 +298,7 @@ fn render_memory_deep_dive(p: &KernelProfile, cfg: &GpuConfig) {
             m.bw_wait_cycles,
             m.xbar_wait_cycles,
             issue,
+            watts,
         );
     }
     if rows > MAX_ROWS {

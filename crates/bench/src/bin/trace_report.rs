@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use st2::prelude::*;
-use st2::telemetry::{chrome, jsonl, summary};
+use st2::telemetry::{chrome, energy, jsonl, summary};
 use st2_bench::BenchArgs;
 
 fn main() -> ExitCode {
@@ -53,9 +53,17 @@ fn main() -> ExitCode {
         eprintln!("warning: {name} failed output verification: {e}");
     }
 
+    // Price the integer energy timeline into a per-interval power lane
+    // so the trace renders live watts next to the IPC counters.
+    let weights = EnergyModel::characterized().interval_weights(cfg.clock_ghz);
+    let power = energy::power_series(tele.energy_series(), tele.mem_series(), &weights);
+
     let trace_path = format!("{out_dir}/{name}.trace.json");
     let jsonl_path = format!("{out_dir}/{name}.metrics.jsonl");
-    if let Err(e) = std::fs::write(&trace_path, chrome::export(&tele, spec.name)) {
+    if let Err(e) = std::fs::write(
+        &trace_path,
+        chrome::export_with_power(&tele, spec.name, Some(&power)),
+    ) {
         eprintln!("cannot write {trace_path}: {e}");
         return ExitCode::FAILURE;
     }

@@ -20,9 +20,11 @@ use st2::telemetry::profile::ALL_STALL_REASONS;
 /// the per-reason stall-share map; version 3 added the crossbar-wait
 /// counter and the partition fill-imbalance ratio; version 4 added host
 /// wall-time and simulated cycles/sec (report-only — host-dependent, so
-/// never gated). Older documents parse with the newer comparisons
-/// skipped.
-pub const SUMMARY_VERSION: u32 = 4;
+/// never gated); version 5 added the modeled energy columns (report-only
+/// — model-derived, never gated) and stopped emitting `fill_imbalance`
+/// for single-partition runs, where the ratio is undefined. Older
+/// documents parse with the newer comparisons skipped.
+pub const SUMMARY_VERSION: u32 = 5;
 
 /// One kernel's summary row. The `Option` fields only exist from
 /// version 2 on: `None` means "baseline predates the metric, skip the
@@ -71,6 +73,18 @@ pub struct KernelSummary {
     /// machine-dependent, report-only — the sim-rate column in
     /// `bench_diff` never gates).
     pub cycles_per_sec: Option<f64>,
+    /// Total modeled energy in nanojoules (version ≥ 5; model-derived,
+    /// report-only — energy columns inform but never gate).
+    pub total_energy_nj: Option<f64>,
+    /// DRAM share of the modeled energy in nanojoules (version ≥ 5,
+    /// report-only).
+    pub dram_energy_nj: Option<f64>,
+    /// Peak per-interval average power in watts (version ≥ 5,
+    /// report-only).
+    pub peak_power_w: Option<f64>,
+    /// Modeled energy per warp instruction in picojoules (version ≥ 5,
+    /// report-only).
+    pub energy_per_instruction_pj: Option<f64>,
 }
 
 /// A whole summary document (the `BENCH_profile.json` envelope).
@@ -129,12 +143,18 @@ pub fn summary_from_profiles(profiles: &[KernelProfile], generator: &str) -> Sum
                 fill_max: Some(p.mem.fill_max),
                 bw_starved_cycles: Some(p.mem.bw_starved_cycles),
                 xbar_wait_cycles: Some(p.mem.xbar_wait_cycles),
-                fill_imbalance: Some(round(p.mem.fill_imbalance(), 4)),
+                // Busiest/mean is tautologically 1 with one partition:
+                // omit the column so it never enters a comparison.
+                fill_imbalance: (p.mem.partitions > 1).then(|| round(p.mem.fill_imbalance(), 4)),
                 stall_shares: Some(shares),
                 // Profiles carry no host timing; callers that measured
                 // the runs (profile_report) fill these in afterwards.
                 wall_ms: None,
                 cycles_per_sec: None,
+                total_energy_nj: p.energy.map(|e| round(e.total_nj, 3)),
+                dram_energy_nj: p.energy.map(|e| round(e.dram_nj, 3)),
+                peak_power_w: p.energy.map(|e| round(e.peak_power_w, 4)),
+                energy_per_instruction_pj: p.energy.map(|e| round(e.energy_per_instruction_pj, 4)),
             }
         })
         .collect();
@@ -189,6 +209,18 @@ pub fn summary_to_json(doc: &SummaryDoc) -> String {
         }
         if let Some(v) = k.cycles_per_sec {
             w.field_f64("cycles_per_sec", v);
+        }
+        if let Some(v) = k.total_energy_nj {
+            w.field_f64("total_energy_nj", v);
+        }
+        if let Some(v) = k.dram_energy_nj {
+            w.field_f64("dram_energy_nj", v);
+        }
+        if let Some(v) = k.peak_power_w {
+            w.field_f64("peak_power_w", v);
+        }
+        if let Some(v) = k.energy_per_instruction_pj {
+            w.field_f64("energy_per_instruction_pj", v);
         }
         if let Some(shares) = &k.stall_shares {
             w.key("stall_shares");
@@ -278,6 +310,10 @@ pub fn parse_summary(text: &str) -> Result<SummaryDoc, String> {
             stall_shares,
             wall_ms: k.get("wall_ms").and_then(Value::as_f64),
             cycles_per_sec: k.get("cycles_per_sec").and_then(Value::as_f64),
+            total_energy_nj: k.get("total_energy_nj").and_then(Value::as_f64),
+            dram_energy_nj: k.get("dram_energy_nj").and_then(Value::as_f64),
+            peak_power_w: k.get("peak_power_w").and_then(Value::as_f64),
+            energy_per_instruction_pj: k.get("energy_per_instruction_pj").and_then(Value::as_f64),
         });
     }
     Ok(SummaryDoc {
@@ -389,6 +425,25 @@ impl DiffReport {
                 );
             }
         }
+        let energies: Vec<&DiffLine> = self
+            .lines
+            .iter()
+            .filter(|l| l.metric.starts_with("energy"))
+            .collect();
+        if !energies.is_empty() {
+            let _ = writeln!(out, "-- energy (report-only, model-derived) --");
+            for l in energies {
+                let _ = writeln!(
+                    out,
+                    "energy     {:<14} {:<14} {:>12.1} -> {:>12.1} ({:+.1}%)",
+                    l.kernel,
+                    l.metric,
+                    l.base,
+                    l.cand,
+                    100.0 * l.delta
+                );
+            }
+        }
         let regressions = self.lines.iter().filter(|l| l.regressed).count();
         let _ = writeln!(
             out,
@@ -438,6 +493,33 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                     regressed: false,
                 });
             }
+        }
+        // Modeled energy, version-5 baselines only. Report-only: the
+        // energy model re-prices with every calibration change, so the
+        // columns inform but never gate a cycle-accuracy PR.
+        for (name, bv, cv) in [
+            ("energy_nj", b.total_energy_nj, c.total_energy_nj),
+            ("energy_dram_nj", b.dram_energy_nj, c.dram_energy_nj),
+            (
+                "energy_epi_pj",
+                b.energy_per_instruction_pj,
+                c.energy_per_instruction_pj,
+            ),
+        ] {
+            let (Some(bv), Some(cv)) = (bv, cv) else {
+                continue;
+            };
+            if bv <= 0.0 {
+                continue;
+            }
+            report.lines.push(DiffLine {
+                kernel: b.kernel.clone(),
+                metric: name.into(),
+                base: bv,
+                cand: cv,
+                delta: cv / bv - 1.0,
+                regressed: false,
+            });
         }
         // Fill-latency percentile growth, version-2 baselines only.
         for (name, bv, cv) in [
@@ -518,6 +600,10 @@ mod tests {
             stall_shares: Some(vec![("mem_pending".into(), mem_share)]),
             wall_ms: Some(12.5),
             cycles_per_sec: Some(80000.0),
+            total_energy_nj: Some(5000.0),
+            dram_energy_nj: Some(1500.0),
+            peak_power_w: Some(42.5),
+            energy_per_instruction_pj: Some(6.25),
         }
     }
 
@@ -554,6 +640,8 @@ mod tests {
         assert_eq!(k.fill_imbalance, None);
         assert_eq!(k.wall_ms, None);
         assert_eq!(k.cycles_per_sec, None);
+        assert_eq!(k.total_energy_nj, None);
+        assert_eq!(k.peak_power_w, None);
         // Diffing a v2 candidate against it only compares IPC.
         let cand = doc(vec![row("sgemm", 0.65, 300, 0.5)]);
         let report = diff_summaries(&d, &cand, &DiffThresholds::default());
@@ -601,6 +689,23 @@ mod tests {
             report.render().contains("sim rate (report-only"),
             "render shows the informational rate section"
         );
+        // A doubled energy bill is reported but never gates: the model
+        // re-prices with every calibration change.
+        let mut hot = row("a", 1.0, 128, 0.30);
+        hot.total_energy_nj = Some(10000.0);
+        hot.dram_energy_nj = Some(3000.0);
+        let report = diff_summaries(&base, &doc(vec![hot]), &thr);
+        assert!(!report.regressed(), "energy must stay report-only");
+        let e = report
+            .lines
+            .iter()
+            .find(|l| l.metric == "energy_nj")
+            .expect("energy line present");
+        assert!((e.delta - 1.0).abs() < 1e-12);
+        assert!(
+            report.render().contains("energy (report-only"),
+            "render shows the informational energy section"
+        );
         // A missing kernel is coverage loss.
         let empty = doc(vec![]);
         let report = diff_summaries(&base, &empty, &thr);
@@ -625,6 +730,8 @@ mod tests {
             pcs: vec![],
             occupancy: vec![],
             mem_timeline: vec![],
+            energy_timeline: vec![],
+            energy: None,
         };
         p.mem.fill_p95 = 256;
         p.mem.bw_starved_cycles = 9;
@@ -646,7 +753,76 @@ mod tests {
         let shares = k.stall_shares.as_ref().unwrap();
         assert_eq!(shares.len(), 1);
         assert!((shares[0].1 - 0.375).abs() < 1e-12);
+        // Profiles carry no priced energy until attach_energy runs, so
+        // the summary omits the energy columns rather than writing 0.
+        assert_eq!(k.total_energy_nj, None);
         // And the document it writes parses back identically.
+        assert_eq!(parse_summary(&summary_to_json(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn single_partition_profiles_omit_fill_imbalance() {
+        // With one partition busiest/mean is identically 1, which reads
+        // as "perfectly balanced" when it is really "undefined".
+        let mut p = KernelProfile {
+            version: st2::telemetry::profile::PROFILE_VERSION,
+            kernel: "solo".into(),
+            cycles: 100,
+            warp_instructions: 100,
+            mem: Default::default(),
+            sms: vec![Default::default()],
+            pcs: vec![],
+            occupancy: vec![],
+            mem_timeline: vec![],
+            energy_timeline: vec![],
+            energy: None,
+        };
+        p.mem.partitions = 1;
+        p.mem.part_fills = vec![7];
+        p.sms[0].slots = 100;
+        p.sms[0].issued = 100;
+        let d = summary_from_profiles(&[p], "unit");
+        assert_eq!(d.kernels[0].fill_imbalance, None);
+        assert_eq!(parse_summary(&summary_to_json(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn priced_profiles_surface_energy_columns() {
+        let mut p = KernelProfile {
+            version: st2::telemetry::profile::PROFILE_VERSION,
+            kernel: "hot".into(),
+            cycles: 100,
+            warp_instructions: 200,
+            mem: Default::default(),
+            sms: vec![Default::default()],
+            pcs: vec![],
+            occupancy: vec![],
+            mem_timeline: vec![],
+            energy_timeline: vec![],
+            energy: Some(st2::telemetry::EnergySummary {
+                total_nj: 1234.5678,
+                dram_nj: 456.789,
+                l2_nj: 10.0,
+                mshr_nj: 1.0,
+                xbar_nj: 2.0,
+                write_alloc_nj: 3.0,
+                issue_nj: 4.0,
+                static_nj: 700.0,
+                queue_nj: 5.0,
+                peak_power_w: 37.25,
+                peak_power_cycle: 2048,
+                energy_per_instruction_pj: 6.17284,
+            }),
+        };
+        p.mem.partitions = 1;
+        p.sms[0].slots = 100;
+        p.sms[0].issued = 100;
+        let d = summary_from_profiles(&[p], "unit");
+        let k = &d.kernels[0];
+        assert_eq!(k.total_energy_nj, Some(1234.568));
+        assert_eq!(k.dram_energy_nj, Some(456.789));
+        assert_eq!(k.peak_power_w, Some(37.25));
+        assert_eq!(k.energy_per_instruction_pj, Some(6.1728));
         assert_eq!(parse_summary(&summary_to_json(&d)).unwrap(), d);
     }
 }

@@ -75,6 +75,22 @@ pub struct EnergyCoefficients {
     pub shared_fj: f64,
     /// NoC flit.
     pub noc_flit_fj: f64,
+    /// MSHR merge: a CAM match plus an entry update — no array traffic,
+    /// so an order of magnitude under an L1 transaction.
+    pub mshr_merge_fj: f64,
+    /// Crossbar hop: one fill traversing the SM↔partition crossbar
+    /// (arbitration + link toggle), on top of its NoC flits.
+    pub xbar_hop_fj: f64,
+    /// Write-allocate fill: the tag write and line install a store miss
+    /// adds on top of the fill itself.
+    pub write_alloc_fj: f64,
+    /// Per cycle a request sits queued for a bandwidth slot or crossbar
+    /// port (occupied queue-buffer entry).
+    pub queue_wait_fj: f64,
+    /// DRAM background (refresh + standby) per device clock tick,
+    /// pro-rated to the simulated slice. Reporting-layer only — like
+    /// the static SM power it stays out of the calibrated components.
+    pub dram_background_fj: f64,
     /// DRAM access (128 B).
     pub dram_fj: f64,
     /// Front-end (fetch/decode/issue) per warp instruction.
@@ -107,6 +123,11 @@ impl Default for EnergyCoefficients {
             l2_fj: 30_000.0,
             shared_fj: 5_000.0,
             noc_flit_fj: 2_500.0,
+            mshr_merge_fj: 1_200.0,
+            xbar_hop_fj: 1_800.0,
+            write_alloc_fj: 4_000.0,
+            queue_wait_fj: 25.0,
+            dram_background_fj: 300.0,
             dram_fj: 140_000.0,
             issue_fj: 420.0,
             misc_thread_fj: 30.0,
@@ -227,10 +248,19 @@ impl EnergyModel {
             Component::CachesMc,
             (act.l1_accesses as f64 * c.l1_fj
                 + act.l2_accesses as f64 * c.l2_fj
-                + act.shared_accesses as f64 * c.shared_fj)
+                + act.shared_accesses as f64 * c.shared_fj
+                + act.mshr_merges as f64 * c.mshr_merge_fj
+                + act.write_allocates as f64 * c.write_alloc_fj
+                + act.bw_starved_cycles as f64 * c.queue_wait_fj)
                 * FJ,
         );
-        e.add(Component::Noc, act.noc_flits as f64 * c.noc_flit_fj * FJ);
+        e.add(
+            Component::Noc,
+            (act.noc_flits as f64 * c.noc_flit_fj
+                + act.xbar_hops as f64 * c.xbar_hop_fj
+                + act.xbar_wait_cycles as f64 * c.queue_wait_fj)
+                * FJ,
+        );
         e.add(Component::Dram, act.dram_accesses as f64 * c.dram_fj * FJ);
 
         // --- Front end and pipeline (dynamic only: the constant and
@@ -246,6 +276,36 @@ impl EnergyModel {
                 + misc_threads as f64 * c.misc_thread_fj * FJ,
         );
         e
+    }
+
+    /// The per-event joule table for the live energy timeline
+    /// ([`st2_telemetry::energy::EnergyWeights`]).
+    ///
+    /// Events are priced exactly as [`EnergyModel::component_energy`]
+    /// prices the matching activity counters; the per-cycle terms
+    /// (SM-resident static floor, DRAM background) mirror
+    /// [`EnergyModel::static_energy_j`]'s treatment — reporting-layer
+    /// charges that never enter the calibration design matrix. The SM
+    /// floor is the unconditional constant + idle power every resident
+    /// SM pays per tick; the active-above-idle increment shows up
+    /// through the instruction column instead, since the timeline does
+    /// not split active from idle cycles per interval.
+    #[must_use]
+    pub fn interval_weights(&self, clock_ghz: f64) -> st2_telemetry::EnergyWeights {
+        let c = &self.coeff;
+        let hz = clock_ghz * 1e9;
+        st2_telemetry::EnergyWeights {
+            dram_fill_j: c.dram_fj * FJ,
+            l2_grant_j: c.l2_fj * FJ,
+            mshr_merge_j: c.mshr_merge_fj * FJ,
+            xbar_hop_j: c.xbar_hop_fj * FJ,
+            write_alloc_j: c.write_alloc_fj * FJ,
+            instruction_j: c.issue_fj * FJ,
+            sm_cycle_j: (c.p_const_sm_w + c.p_idle_sm_w) / hz,
+            dram_cycle_j: c.dram_background_fj * FJ,
+            queue_wait_j: c.queue_wait_fj * FJ,
+            clock_ghz,
+        }
     }
 
     /// Static/background energy of a run (J): constant board power plus
@@ -319,6 +379,47 @@ mod tests {
         assert!(e.system() > e.chip());
         assert!(e.get(Component::Dram) > 0.0);
         assert!((e.system() - e.chip() - e.get(Component::Dram)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn new_memory_events_price_into_their_components() {
+        let m = model();
+        let mut act = alu_heavy_activity(false);
+        let quiet = m.component_energy(&act, false, 1.2);
+        act.mshr_merges = 10_000;
+        act.write_allocates = 5_000;
+        act.bw_starved_cycles = 50_000;
+        act.xbar_hops = 20_000;
+        act.xbar_wait_cycles = 30_000;
+        let busy = m.component_energy(&act, false, 1.2);
+        let c = EnergyCoefficients::default();
+        let d_mc = busy.get(Component::CachesMc) - quiet.get(Component::CachesMc);
+        let expect_mc =
+            (10_000.0 * c.mshr_merge_fj + 5_000.0 * c.write_alloc_fj + 50_000.0 * c.queue_wait_fj)
+                * 1e-15;
+        assert!((d_mc - expect_mc).abs() < 1e-18);
+        let d_noc = busy.get(Component::Noc) - quiet.get(Component::Noc);
+        let expect_noc = (20_000.0 * c.xbar_hop_fj + 30_000.0 * c.queue_wait_fj) * 1e-15;
+        assert!((d_noc - expect_noc).abs() < 1e-18);
+        // DRAM is per-fill only: background lives in the interval
+        // weights, not the calibrated component.
+        assert!((busy.get(Component::Dram) - quiet.get(Component::Dram)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn interval_weights_mirror_coefficients() {
+        let m = model();
+        let w = m.interval_weights(1.2);
+        let c = &m.coeff;
+        assert!((w.dram_fill_j - c.dram_fj * 1e-15).abs() < 1e-30);
+        assert!((w.l2_grant_j - c.l2_fj * 1e-15).abs() < 1e-30);
+        assert!((w.mshr_merge_j - c.mshr_merge_fj * 1e-15).abs() < 1e-30);
+        assert!((w.xbar_hop_j - c.xbar_hop_fj * 1e-15).abs() < 1e-30);
+        assert!((w.write_alloc_j - c.write_alloc_fj * 1e-15).abs() < 1e-30);
+        assert!((w.instruction_j - c.issue_fj * 1e-15).abs() < 1e-30);
+        let hz = 1.2e9;
+        assert!((w.sm_cycle_j - (c.p_const_sm_w + c.p_idle_sm_w) / hz).abs() < 1e-24);
+        assert!((w.clock_ghz - 1.2).abs() < 1e-12);
     }
 
     #[test]

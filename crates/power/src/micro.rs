@@ -94,11 +94,16 @@ fn profile(target: Component, intensity: f64, rng: &mut StdRng) -> ActivityCount
         Component::CachesMc => {
             act.l1_accesses += burst;
             act.l2_accesses = burst / 3;
+            act.mshr_merges = burst / 4;
+            act.write_allocates = burst / 8;
+            act.bw_starved_cycles = burst / 6;
             act.mix.add(InstClass::Mem, burst);
         }
         Component::Noc => {
             act.l1_accesses += burst / 2;
             act.noc_flits = burst * 3;
+            act.xbar_hops = burst / 2;
+            act.xbar_wait_cycles = burst / 5;
             act.l2_accesses = burst / 2;
         }
         Component::Dram => {

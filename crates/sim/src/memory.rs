@@ -525,8 +525,16 @@ impl Partition {
 /// `MemoryHierarchy::access` charged inline: an L1 access always; a
 /// merge; or a fresh fill's miss/NoC/queue-wait/backpressure counters,
 /// with L2 misses also charging DRAM. `line` is the L1 line size (NoC
-/// response flits are `line/32`).
-pub fn apply_access_counters(act: &mut ActivityCounters, r: &AccessResult, line: u64) {
+/// response flits are `line/32`). `store` marks write-allocate
+/// transactions and `xbar` whether the run models a crossbar (more than
+/// one L2 partition) — both price fresh fills for the energy model.
+pub fn apply_access_counters(
+    act: &mut ActivityCounters,
+    r: &AccessResult,
+    line: u64,
+    store: bool,
+    xbar: bool,
+) {
     act.l1_accesses += 1;
     if r.merged {
         act.mshr_merges += 1;
@@ -534,6 +542,12 @@ pub fn apply_access_counters(act: &mut ActivityCounters, r: &AccessResult, line:
     if r.is_fill() {
         act.l1_misses += 1;
         act.l2_accesses += 1;
+        if store {
+            act.write_allocates += 1;
+        }
+        if xbar {
+            act.xbar_hops += 1;
+        }
         // Request + line-fill response over the NoC: 1 request flit
         // plus line/32-byte response flits.
         act.noc_flits += 1 + line / 32;
@@ -609,7 +623,7 @@ impl MemoryHierarchy {
     ) -> AccessResult {
         let p = self.decoder.decode(addr);
         let r = self.parts[p].access(sm, addr, now);
-        apply_access_counters(act, &r, self.line);
+        apply_access_counters(act, &r, self.line, false, self.parts.len() > 1);
         r
     }
 

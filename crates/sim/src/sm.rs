@@ -881,7 +881,13 @@ impl SmCore {
             let mut worst = vec![now; self.pending.len()];
             for c in completions.drain(..) {
                 let r = c.result;
-                apply_access_counters(&mut self.act, &r, self.cfg.l1_line);
+                apply_access_counters(
+                    &mut self.act,
+                    &r,
+                    self.cfg.l1_line,
+                    c.store,
+                    self.cfg.l2_partitions > 1,
+                );
                 tele.mem_transaction(
                     self.index,
                     now,
@@ -895,6 +901,7 @@ impl SmCore {
                         xbar_wait: r.xbar_wait,
                         l2_wait: r.l2_wait,
                         dram_wait: r.dram_wait,
+                        xbar_hop: self.cfg.l2_partitions > 1,
                     },
                 );
                 worst[c.token as usize] = worst[c.token as usize].max(r.ready_at);
@@ -923,6 +930,7 @@ impl SmCore {
             self.act.mem_throttle += 1;
         }
         tele.mem_occupancy(self.index, occupied, dt);
+        tele.energy_cycles(dt);
         self.mem_wake = earliest;
         self.last_occupied = occupied;
         self.last_any_full = any_full;
@@ -946,6 +954,10 @@ impl SmCore {
             self.act.mem_throttle += iters;
         }
         tele.mem_occupancy(self.index, self.last_occupied, cycles);
+        // The slept span still burns static/leakage power: credit the
+        // frozen interval's SM-resident cycles so event-driven runs
+        // price energy identically to lockstep.
+        tele.energy_cycles(cycles);
         tele.profile_commit(self.index, cycles, &self.cycle_profile);
     }
 

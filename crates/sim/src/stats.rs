@@ -132,6 +132,14 @@ pub struct ActivityCounters {
     /// modeled); nonzero values mean the per-(SM, partition) port depth
     /// (`xbar_queue`), not bandwidth or MSHR capacity, delayed traffic.
     pub xbar_wait_cycles: u64,
+    /// Fresh fills routed through the SM↔partition crossbar (one hop
+    /// per fill). Always zero with a single L2 partition, where the
+    /// crossbar is bypassed entirely.
+    pub xbar_hops: u64,
+    /// Store misses that allocated a line (write-allocate fills). A
+    /// subset of `l1_misses`; priced separately because an allocate
+    /// costs a tag write and a line install on top of the fill.
+    pub write_allocates: u64,
     /// NoC flits moved (L1↔L2 traffic).
     pub noc_flits: u64,
     /// Shared-memory transactions (bank-conflicted accesses count once
@@ -183,6 +191,8 @@ impl ActivityCounters {
         self.mem_throttle += other.mem_throttle;
         self.bw_starved_cycles += other.bw_starved_cycles;
         self.xbar_wait_cycles += other.xbar_wait_cycles;
+        self.xbar_hops += other.xbar_hops;
+        self.write_allocates += other.write_allocates;
         self.noc_flits += other.noc_flits;
         self.shared_accesses += other.shared_accesses;
         self.shared_bank_conflicts += other.shared_bank_conflicts;
@@ -233,6 +243,8 @@ impl ActivityCounters {
         out.mem_throttle *= e;
         out.bw_starved_cycles *= e;
         out.xbar_wait_cycles *= e;
+        out.xbar_hops *= e;
+        out.write_allocates *= e;
         out.noc_flits *= e;
         out.shared_accesses *= e;
         out.shared_bank_conflicts *= e;
@@ -338,6 +350,8 @@ mod tests {
             mem_throttle: 199 * e,
             bw_starved_cycles: 211 * e,
             xbar_wait_cycles: 223 * e,
+            xbar_hops: 227 * e,
+            write_allocates: 229 * e,
             noc_flits: 83 * e,
             shared_accesses: 89 * e,
             shared_bank_conflicts: 97 * e,

@@ -8,6 +8,7 @@
 
 use crate::event::{pool_name, EventKind};
 use crate::json::Writer;
+use crate::metrics::IntervalSeries;
 use crate::Telemetry;
 
 fn meta_event(w: &mut Writer, name: &str, tid: Option<usize>, arg_name: &str) {
@@ -115,6 +116,15 @@ fn counter_event(w: &mut Writer, name: &str, ts: u64, value: f64) {
 /// Renders a finalized [`Telemetry`] into Chrome trace-event JSON.
 #[must_use]
 pub fn export(tele: &Telemetry, label: &str) -> String {
+    export_with_power(tele, label, None)
+}
+
+/// [`export`] plus an optional priced power lane: each column of
+/// `power` (see [`crate::energy::power_series`]) becomes its own
+/// counter ("C") track, so traces render live watts next to the IPC
+/// and memory counters.
+#[must_use]
+pub fn export_with_power(tele: &Telemetry, label: &str, power: Option<&IntervalSeries>) -> String {
     let mut w = Writer::new();
     w.begin_object();
     w.key("traceEvents");
@@ -251,9 +261,14 @@ pub fn export(tele: &Telemetry, label: &str) -> String {
         }
     }
 
-    // Interval series as counter tracks (core metrics plus the memory
-    // timeline).
-    for series in [tele.series(), tele.mem_series()] {
+    // Interval series as counter tracks (core metrics, the memory
+    // timeline, the raw energy-event timeline, and — when priced — the
+    // derived power lane).
+    let mut tracks = vec![tele.series(), tele.mem_series(), tele.energy_series()];
+    if let Some(p) = power {
+        tracks.push(p);
+    }
+    for series in tracks {
         let columns = series.columns().to_vec();
         for (ci, col) in columns.iter().enumerate() {
             for p in series.points() {
@@ -302,6 +317,44 @@ mod tests {
             v.get("otherData").unwrap().get("kernel").unwrap().as_str(),
             Some("unit")
         );
+    }
+
+    #[test]
+    fn power_lane_exports_as_counter_events() {
+        let mut t = Telemetry::for_run(1, TelemetryConfig::default());
+        t.issue(0, 5, 0, 0, 0);
+        t.energy_cycles(100);
+        t.finalize(100);
+        let mut power = IntervalSeries::new(
+            crate::energy::POWER_SERIES_COLUMNS
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        );
+        power.push(100, vec![2.5, 1.0, 0.5]);
+        let text = export_with_power(&t, "unit", Some(&power));
+        let v = json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("C"))
+            .collect();
+        let named = |n: &str| {
+            counters
+                .iter()
+                .find(|e| e.get("name").and_then(json::Value::as_str) == Some(n))
+        };
+        let total = named("power.total_w").expect("power lane present");
+        assert_eq!(
+            total.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(2.5)
+        );
+        assert!(named("energy.sm_cycles").is_some(), "raw event lane too");
+        // Without a priced series, export still carries the raw lanes
+        // but no watts.
+        let bare = export(&t, "unit");
+        assert!(bare.contains("energy.sm_cycles"));
+        assert!(!bare.contains("power.total_w"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod energy;
 pub mod event;
 pub mod json;
 pub mod jsonl;
@@ -40,6 +41,7 @@ use st2_core::bits::SliceLayout;
 use st2_core::event::OpContext;
 use st2_core::sink::EventSink;
 
+pub use energy::{EnergySummary, EnergyWeights};
 pub use event::{Event, EventKind, RingBuffer};
 pub use metrics::{Histogram, IntervalSeries, MetricsRegistry};
 pub use profile::{CycleProfile, KernelProfile, ProfileCollector, SmProfile, StallReason};
@@ -87,6 +89,8 @@ struct HotIds {
     mshr_wait_cycles: metrics::CounterId,
     bw_starved_cycles: metrics::CounterId,
     xbar_wait_cycles: metrics::CounterId,
+    xbar_hops: metrics::CounterId,
+    write_allocs: metrics::CounterId,
     barriers: metrics::CounterId,
     recompute_slices: metrics::HistogramId,
     issue_gap: metrics::HistogramId,
@@ -127,6 +131,21 @@ struct MemBase {
     xbar_wait: u64,
 }
 
+/// Energy-timeline baseline: cumulative event counts at the last
+/// snapshot of the energy interval series. Every field is a pure
+/// integer, so per-SM children merged with [`IntervalSeries::merge_sum`]
+/// reproduce a serial collector's rows bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+struct EnergyBase {
+    dram_fills: u64,
+    l2_grants: u64,
+    mshr_merges: u64,
+    xbar_hops: u64,
+    write_allocs: u64,
+    instructions: u64,
+    sm_cycles: u64,
+}
+
 /// Lifecycle stamps of one coalesced global-memory transaction, as
 /// reported by the simulator's drain phase. All stage waits are in
 /// cycles and are zero for hits and merges (only fresh fills queue).
@@ -153,6 +172,9 @@ pub struct MemTxn {
     pub l2_wait: u64,
     /// Cycles queued for a DRAM request-bandwidth slot.
     pub dram_wait: u64,
+    /// Whether the fill crossed the SM↔partition crossbar (always
+    /// `false` with a monolithic L2, where the crossbar is bypassed).
+    pub xbar_hop: bool,
 }
 
 /// The telemetry collector for one simulation run.
@@ -190,6 +212,18 @@ pub struct Telemetry {
     /// parallel run (per-SM children merged with
     /// [`IntervalSeries::merge_sum`]) produce bit-identical timelines.
     mshr_interval_peak: Vec<u32>,
+    /// Per-interval energy-event timeline (columns:
+    /// [`ENERGY_SERIES_COLUMNS`]). Every column is an extensive integer
+    /// event count; joules are applied downstream by
+    /// [`energy::EnergyWeights`], keeping the merge a pure integer sum.
+    energy_series: IntervalSeries,
+    energy_base: EnergyBase,
+    /// Cumulative SM-resident cycles: every SM contributes its clock
+    /// ticks whether it executed, stalled, or slept through them (the
+    /// event-driven driver replays parked windows via
+    /// [`Telemetry::energy_cycles`]), so static/leakage energy is
+    /// priced identically with fast-forward on or off.
+    energy_sm_cycles: u64,
     final_cycles: u64,
 }
 
@@ -210,6 +244,22 @@ pub const MEM_SERIES_COLUMNS: [&str; 6] = [
     "mem.dram_requests",
     "mem.bw_wait_cycles",
     "mem.xbar_wait_cycles",
+];
+
+/// Energy interval-series column order (see [`Telemetry::energy_series`]).
+/// All columns are extensive integer event counts over the interval:
+/// DRAM line fills, L2 slot grants (fresh fills entering the L2), MSHR
+/// merges, crossbar hops, write-allocate fills, issued warp
+/// instructions, and SM-resident cycles (awake or parked). Multiply by
+/// per-event joules ([`energy::EnergyWeights`]) to get interval energy.
+pub const ENERGY_SERIES_COLUMNS: [&str; 7] = [
+    "energy.dram_fills",
+    "energy.l2_grants",
+    "energy.mshr_merges",
+    "energy.xbar_hops",
+    "energy.write_allocs",
+    "energy.instructions",
+    "energy.sm_cycles",
 ];
 
 impl Telemetry {
@@ -240,6 +290,9 @@ impl Telemetry {
             mshr_occupied_cycles: 0,
             part_fills: Vec::new(),
             mshr_interval_peak: Vec::new(),
+            energy_series: IntervalSeries::default(),
+            energy_base: EnergyBase::default(),
+            energy_sm_cycles: 0,
             final_cycles: 0,
         }
     }
@@ -272,6 +325,8 @@ impl Telemetry {
             mshr_wait_cycles: registry.counter("mem.mshr_wait_cycles"),
             bw_starved_cycles: registry.counter("mem.bw_starved_cycles"),
             xbar_wait_cycles: registry.counter("mem.xbar_wait_cycles"),
+            xbar_hops: registry.counter("mem.xbar_hops"),
+            write_allocs: registry.counter("mem.write_allocs"),
             barriers: registry.counter("sched.barriers"),
             recompute_slices: registry.histogram("adder.recompute_slices"),
             issue_gap: registry.histogram("sched.issue_gap"),
@@ -311,6 +366,14 @@ impl Telemetry {
             mshr_occupied_cycles: 0,
             part_fills: Vec::new(),
             mshr_interval_peak: vec![0; num_sms.max(1)],
+            energy_series: IntervalSeries::new(
+                ENERGY_SERIES_COLUMNS
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            ),
+            energy_base: EnergyBase::default(),
+            energy_sm_cycles: 0,
             final_cycles: 0,
         }
     }
@@ -399,6 +462,19 @@ impl Telemetry {
         for (mine, theirs) in self.part_fills.iter_mut().zip(&other.part_fills) {
             *mine += theirs;
         }
+        // Energy timeline: rows sum pointwise (every column is an
+        // extensive integer event count) and the cumulative integrals /
+        // baselines sum, so the parent's final partial row — pushed by
+        // `finalize` after all absorbs — equals the serial row exactly.
+        self.energy_series.merge_sum(&other.energy_series);
+        self.energy_sm_cycles += other.energy_sm_cycles;
+        self.energy_base.dram_fills += other.energy_base.dram_fills;
+        self.energy_base.l2_grants += other.energy_base.l2_grants;
+        self.energy_base.mshr_merges += other.energy_base.mshr_merges;
+        self.energy_base.xbar_hops += other.energy_base.xbar_hops;
+        self.energy_base.write_allocs += other.energy_base.write_allocs;
+        self.energy_base.instructions += other.energy_base.instructions;
+        self.energy_base.sm_cycles += other.energy_base.sm_cycles;
         let other_peak = other.mshr_interval_peak.iter().copied().max().unwrap_or(0);
         let idx = sm.min(self.mshr_interval_peak.len().saturating_sub(1));
         if let Some(p) = self.mshr_interval_peak.get_mut(idx) {
@@ -522,6 +598,12 @@ impl Telemetry {
             self.registry
                 .inc(ids.bw_starved_cycles, t.l2_wait + t.dram_wait);
             self.registry.inc(ids.xbar_wait_cycles, t.xbar_wait);
+            if t.xbar_hop {
+                self.registry.inc(ids.xbar_hops, 1);
+            }
+            if t.store {
+                self.registry.inc(ids.write_allocs, 1);
+            }
             let part = t.partition as usize;
             if self.part_fills.len() <= part {
                 self.part_fills.resize(part + 1, 0);
@@ -564,6 +646,20 @@ impl Telemetry {
         if let Some(p) = self.mshr_interval_peak.get_mut(idx) {
             *p = (*p).max(occupied);
         }
+    }
+
+    /// Records `cycles` SM-resident clock ticks toward the energy
+    /// timeline's static/leakage column. The simulator calls this once
+    /// per SM per committed iteration (`dt` ticks) while awake, and
+    /// once per replayed parked window (the full slept span) on wake —
+    /// so every SM contributes exactly the run length, with
+    /// event-driven fast-forward on or off.
+    #[inline]
+    pub fn energy_cycles(&mut self, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.energy_sm_cycles += cycles;
     }
 
     /// A warp reached a block barrier.
@@ -631,6 +727,34 @@ impl Telemetry {
         for p in &mut self.mshr_interval_peak {
             *p = 0;
         }
+        // Energy timeline row: interval deltas of the cumulative
+        // energy-event counters. Pure integers stored as exact f64s —
+        // the same merge contract as the memory timeline.
+        let merges = self.registry.counter_value(ids.mshr_merges);
+        let hops = self.registry.counter_value(ids.xbar_hops);
+        let wallocs = self.registry.counter_value(ids.write_allocs);
+        let instructions = self.registry.counter_value(ids.warp_instructions);
+        self.energy_series.push(
+            cycle,
+            vec![
+                (dram - self.energy_base.dram_fills) as f64,
+                (l1m - self.energy_base.l2_grants) as f64,
+                (merges - self.energy_base.mshr_merges) as f64,
+                (hops - self.energy_base.xbar_hops) as f64,
+                (wallocs - self.energy_base.write_allocs) as f64,
+                (instructions - self.energy_base.instructions) as f64,
+                (self.energy_sm_cycles - self.energy_base.sm_cycles) as f64,
+            ],
+        );
+        self.energy_base = EnergyBase {
+            dram_fills: dram,
+            l2_grants: l1m,
+            mshr_merges: merges,
+            xbar_hops: hops,
+            write_allocs: wallocs,
+            instructions,
+            sm_cycles: self.energy_sm_cycles,
+        };
         let ops = self.registry.counter_value(ids.adder_ops);
         let mis = self.registry.counter_value(ids.adder_mispredicts);
         let ins = self.registry.counter_value(ids.warp_instructions);
@@ -712,6 +836,21 @@ impl Telemetry {
     #[must_use]
     pub fn mem_series(&self) -> &IntervalSeries {
         &self.mem_series
+    }
+
+    /// The energy-event interval timeline (columns:
+    /// [`ENERGY_SERIES_COLUMNS`]).
+    #[must_use]
+    pub fn energy_series(&self) -> &IntervalSeries {
+        &self.energy_series
+    }
+
+    /// Cumulative SM-resident cycles integrated over the run (every SM
+    /// counts every clock tick, awake or parked; equals
+    /// `num_sms x cycles` for a run that ends with all SMs drained).
+    #[must_use]
+    pub fn energy_sm_cycles(&self) -> u64 {
+        self.energy_sm_cycles
     }
 
     /// Cumulative MSHR occupied-entry-cycles integrated over the run
@@ -998,6 +1137,7 @@ mod tests {
                 xbar_wait: 4,
                 l2_wait: 3,
                 dram_wait: 2,
+                xbar_hop: true,
             },
         );
         t.mem_transaction(

@@ -615,6 +615,30 @@ pub struct MemPoint {
     pub xbar_wait_cycles: u64,
 }
 
+/// One energy-timeline interval of a captured [`KernelProfile`]: raw
+/// integer event counts over the interval, mirroring
+/// [`crate::ENERGY_SERIES_COLUMNS`]. Joules are applied at report time
+/// by [`crate::energy::EnergyWeights`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyPoint {
+    /// Cycle at the end of the interval.
+    pub cycle: u64,
+    /// DRAM line fills during the interval.
+    pub dram_fills: u64,
+    /// Fresh fills granted an L2 request slot.
+    pub l2_grants: u64,
+    /// Misses merged into in-flight MSHR fills.
+    pub mshr_merges: u64,
+    /// Fills that crossed the SM↔partition crossbar.
+    pub xbar_hops: u64,
+    /// Store misses that installed a line (write-allocates).
+    pub write_allocs: u64,
+    /// Warp instructions issued during the interval.
+    pub instructions: u64,
+    /// SM-resident clock ticks (awake or parked) during the interval.
+    pub sm_cycles: u64,
+}
+
 /// A portable per-kernel profile snapshot: the nvprof-style report data,
 /// exportable to JSON and parseable back losslessly.
 #[derive(Debug, Clone, PartialEq)]
@@ -638,14 +662,24 @@ pub struct KernelProfile {
     pub occupancy: Vec<OccPoint>,
     /// Memory timeline, interval order (empty in version-1 documents).
     pub mem_timeline: Vec<MemPoint>,
+    /// Energy-event timeline, interval order (empty in documents
+    /// predating version 5).
+    pub energy_timeline: Vec<EnergyPoint>,
+    /// Priced energy rollup — attached by
+    /// [`KernelProfile::attach_energy`] once the caller supplies the
+    /// calibrated per-event weights (`None` in bare captures and in
+    /// documents written without pricing).
+    pub energy: Option<crate::energy::EnergySummary>,
 }
 
 /// Profile document version written by [`KernelProfile::to_json`].
 /// Version 2 added latency percentiles, MSHR occupancy totals, and the
 /// memory timeline; version 3 added the L2-partition/crossbar fields
-/// (`partitions`, `xbar_wait_cycles`, `part_fills`). Older documents
-/// parse with the newer fields zeroed.
-pub const PROFILE_VERSION: u32 = 3;
+/// (`partitions`, `xbar_wait_cycles`, `part_fills`); version 5 added
+/// the energy timeline and the optional priced energy summary (4 is
+/// skipped so profile and bench-summary documents share one numbering).
+/// Older documents parse with the newer fields zeroed/empty.
+pub const PROFILE_VERSION: u32 = 5;
 
 impl KernelProfile {
     /// Captures a profile from a finalized [`Telemetry`]. Pass the
@@ -706,6 +740,21 @@ impl KernelProfile {
                 xbar_wait_cycles: p.values.get(5).copied().unwrap_or(0.0) as u64,
             })
             .collect();
+        let energy_timeline = tele
+            .energy_series()
+            .points()
+            .iter()
+            .map(|p| EnergyPoint {
+                cycle: p.cycle,
+                dram_fills: p.values[0] as u64,
+                l2_grants: p.values[1] as u64,
+                mshr_merges: p.values[2] as u64,
+                xbar_hops: p.values[3] as u64,
+                write_allocs: p.values[4] as u64,
+                instructions: p.values[5] as u64,
+                sm_cycles: p.values[6] as u64,
+            })
+            .collect();
         let counter = |name: &str| tele.registry().counter_by_name(name).unwrap_or(0);
         let fill = tele.registry().histogram_by_name("mem.fill_latency");
         KernelProfile {
@@ -733,7 +782,78 @@ impl KernelProfile {
             pcs,
             occupancy,
             mem_timeline,
+            energy_timeline,
+            energy: None,
         }
+    }
+
+    /// Prices the energy timeline with the calibrated per-event weights
+    /// and attaches the resulting [`crate::energy::EnergySummary`].
+    /// Reporting-layer only: the integer timelines are untouched, so
+    /// determinism comparisons are unaffected by when (or whether) this
+    /// runs.
+    pub fn attach_energy(&mut self, weights: &crate::energy::EnergyWeights) {
+        let (energy, mem) = self.interval_series();
+        self.energy = Some(crate::energy::EnergySummary::from_series(
+            &energy, &mem, weights,
+        ));
+    }
+
+    /// Per-interval average power in watts (interval end cycle, total
+    /// watts), priced from the stored integer timelines. Zero-length
+    /// intervals are skipped.
+    #[must_use]
+    pub fn power_timeline(&self, weights: &crate::energy::EnergyWeights) -> Vec<(u64, f64)> {
+        let (energy, mem) = self.interval_series();
+        let power = crate::energy::power_series(&energy, &mem, weights);
+        power
+            .column(crate::energy::POWER_SERIES_COLUMNS[0])
+            .unwrap_or_default()
+    }
+
+    /// Rebuilds the collector's (energy, memory) interval series from
+    /// the stored point vectors, for pricing.
+    fn interval_series(&self) -> (crate::IntervalSeries, crate::IntervalSeries) {
+        let mut energy = crate::IntervalSeries::new(
+            crate::ENERGY_SERIES_COLUMNS
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        );
+        for p in &self.energy_timeline {
+            energy.push(
+                p.cycle,
+                vec![
+                    p.dram_fills as f64,
+                    p.l2_grants as f64,
+                    p.mshr_merges as f64,
+                    p.xbar_hops as f64,
+                    p.write_allocs as f64,
+                    p.instructions as f64,
+                    p.sm_cycles as f64,
+                ],
+            );
+        }
+        let mut mem = crate::IntervalSeries::new(
+            crate::MEM_SERIES_COLUMNS
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        );
+        for p in &self.mem_timeline {
+            mem.push(
+                p.cycle,
+                vec![
+                    p.mshr_occupied_cycles as f64,
+                    p.mshr_peak as f64,
+                    p.l2_requests as f64,
+                    p.dram_requests as f64,
+                    p.bw_wait_cycles as f64,
+                    p.xbar_wait_cycles as f64,
+                ],
+            );
+        }
+        (energy, mem)
     }
 
     /// Device-wide slot totals (summed SM profiles; `cycles` is the max).
@@ -843,6 +963,38 @@ impl KernelProfile {
             w.end_object();
         }
         w.end_array();
+        w.key("energy_timeline");
+        w.begin_array();
+        for p in &self.energy_timeline {
+            w.begin_object();
+            w.field_u64("cycle", p.cycle);
+            w.field_u64("dram_fills", p.dram_fills);
+            w.field_u64("l2_grants", p.l2_grants);
+            w.field_u64("mshr_merges", p.mshr_merges);
+            w.field_u64("xbar_hops", p.xbar_hops);
+            w.field_u64("write_allocs", p.write_allocs);
+            w.field_u64("instructions", p.instructions);
+            w.field_u64("sm_cycles", p.sm_cycles);
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(e) = &self.energy {
+            w.key("energy");
+            w.begin_object();
+            w.field_f64("total_nj", e.total_nj);
+            w.field_f64("dram_nj", e.dram_nj);
+            w.field_f64("l2_nj", e.l2_nj);
+            w.field_f64("mshr_nj", e.mshr_nj);
+            w.field_f64("xbar_nj", e.xbar_nj);
+            w.field_f64("write_alloc_nj", e.write_alloc_nj);
+            w.field_f64("issue_nj", e.issue_nj);
+            w.field_f64("static_nj", e.static_nj);
+            w.field_f64("queue_nj", e.queue_nj);
+            w.field_f64("peak_power_w", e.peak_power_w);
+            w.field_u64("peak_power_cycle", e.peak_power_cycle);
+            w.field_f64("energy_per_instruction_pj", e.energy_per_instruction_pj);
+            w.end_object();
+        }
         w.end_object();
         w.finish()
     }
@@ -972,6 +1124,40 @@ impl KernelProfile {
                 });
             }
         }
+        // Optional from version 5 on: the energy timeline and the
+        // priced summary. Older documents parse with them empty/None.
+        let mut energy_timeline = Vec::new();
+        if let Some(rows) = v.get("energy_timeline").and_then(Value::as_array) {
+            for p in rows {
+                energy_timeline.push(EnergyPoint {
+                    cycle: u(p, "cycle")?,
+                    dram_fills: u(p, "dram_fills")?,
+                    l2_grants: u(p, "l2_grants")?,
+                    mshr_merges: u(p, "mshr_merges")?,
+                    xbar_hops: u(p, "xbar_hops")?,
+                    write_allocs: u(p, "write_allocs")?,
+                    instructions: u(p, "instructions")?,
+                    sm_cycles: u(p, "sm_cycles")?,
+                });
+            }
+        }
+        let energy = v.get("energy").map(|e| {
+            let f = |key: &str| e.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            crate::energy::EnergySummary {
+                total_nj: f("total_nj"),
+                dram_nj: f("dram_nj"),
+                l2_nj: f("l2_nj"),
+                mshr_nj: f("mshr_nj"),
+                xbar_nj: f("xbar_nj"),
+                write_alloc_nj: f("write_alloc_nj"),
+                issue_nj: f("issue_nj"),
+                static_nj: f("static_nj"),
+                queue_nj: f("queue_nj"),
+                peak_power_w: f("peak_power_w"),
+                peak_power_cycle: f("peak_power_cycle") as u64,
+                energy_per_instruction_pj: f("energy_per_instruction_pj"),
+            }
+        });
         Ok(KernelProfile {
             version,
             kernel: v
@@ -986,6 +1172,8 @@ impl KernelProfile {
             pcs,
             occupancy,
             mem_timeline,
+            energy_timeline,
+            energy,
         })
     }
 
@@ -1050,6 +1238,18 @@ impl KernelProfile {
                 fills.join(", "),
                 self.mem.fill_imbalance(),
                 self.mem.xbar_wait_cycles,
+            );
+        }
+        if let Some(e) = &self.energy {
+            let _ = writeln!(
+                out,
+                "energy: {:.1} nJ total   dram {:.1}   static {:.1}   {:.2} pJ/instr",
+                e.total_nj, e.dram_nj, e.static_nj, e.energy_per_instruction_pj,
+            );
+            let _ = writeln!(
+                out,
+                "power: peak {:.3} W in the interval ending at cycle {}",
+                e.peak_power_w, e.peak_power_cycle,
             );
         }
 
@@ -1316,6 +1516,30 @@ mod tests {
                 bw_wait_cycles: 33,
                 xbar_wait_cycles: 9,
             }],
+            energy_timeline: vec![EnergyPoint {
+                cycle: 1024,
+                dram_fills: 10,
+                l2_grants: 20,
+                mshr_merges: 5,
+                xbar_hops: 12,
+                write_allocs: 3,
+                instructions: 567,
+                sm_cycles: 2048,
+            }],
+            energy: Some(crate::energy::EnergySummary {
+                total_nj: 12.5,
+                dram_nj: 4.25,
+                l2_nj: 1.5,
+                mshr_nj: 0.125,
+                xbar_nj: 0.5,
+                write_alloc_nj: 0.25,
+                issue_nj: 2.0,
+                static_nj: 3.5,
+                queue_nj: 0.375,
+                peak_power_w: 1.75,
+                peak_power_cycle: 1024,
+                energy_per_instruction_pj: 22.046,
+            }),
         };
         let text = profile.to_json();
         let back = KernelProfile::from_json(&text).expect("parses back");
@@ -1340,20 +1564,39 @@ mod tests {
                 "",
                 1,
             )
-            .replacen("\"version\":3,", "", 1)
+            .replacen("\"version\":5,", "", 1)
             .replacen(
                 "\"mem_timeline\":[{\"cycle\":1024,\"mshr_occupied_cycles\":2000,\
                  \"mshr_peak\":6,\"l2_requests\":20,\"dram_requests\":10,\
-                 \"bw_wait_cycles\":33,\"xbar_wait_cycles\":9}]",
-                "\"ignored\":0",
+                 \"bw_wait_cycles\":33,\"xbar_wait_cycles\":9}],",
+                "\"ignored\":0,",
+                1,
+            )
+            .replacen(
+                "\"energy_timeline\":[{\"cycle\":1024,\"dram_fills\":10,\
+                 \"l2_grants\":20,\"mshr_merges\":5,\"xbar_hops\":12,\
+                 \"write_allocs\":3,\"instructions\":567,\"sm_cycles\":2048}],",
+                "",
+                1,
+            )
+            .replacen(
+                "\"energy\":{\"total_nj\":12.5,\"dram_nj\":4.25,\"l2_nj\":1.5,\
+                 \"mshr_nj\":0.125,\"xbar_nj\":0.5,\"write_alloc_nj\":0.25,\
+                 \"issue_nj\":2,\"static_nj\":3.5,\"queue_nj\":0.375,\
+                 \"peak_power_w\":1.75,\"peak_power_cycle\":1024,\
+                 \"energy_per_instruction_pj\":22.046}",
+                "\"also_ignored\":0",
                 1,
             );
         assert_ne!(legacy, text, "legacy fields were removed");
         assert!(!legacy.contains("mem_timeline"));
+        assert!(!legacy.contains("energy"));
         let old = KernelProfile::from_json(&legacy).expect("legacy document parses");
         assert_eq!(old.version, 1, "absent version field reads as 1");
         assert_eq!(old.mem, MemSummary::default());
         assert!(old.mem_timeline.is_empty());
+        assert!(old.energy_timeline.is_empty());
+        assert!(old.energy.is_none());
 
         // And a legacy document re-serialised round-trips its version.
         let re = KernelProfile::from_json(&old.to_json()).expect("re-parses");
@@ -1413,6 +1656,21 @@ mod tests {
                 total_slots: 4,
             }],
             mem_timeline: vec![],
+            energy_timeline: vec![],
+            energy: Some(crate::energy::EnergySummary {
+                total_nj: 100.0,
+                dram_nj: 40.0,
+                l2_nj: 10.0,
+                mshr_nj: 1.0,
+                xbar_nj: 2.0,
+                write_alloc_nj: 1.0,
+                issue_nj: 16.0,
+                static_nj: 28.0,
+                queue_nj: 2.0,
+                peak_power_w: 3.5,
+                peak_power_cycle: 1,
+                energy_per_instruction_pj: 50.0,
+            }),
         };
         let text = profile.render(5);
         for needle in [
@@ -1426,6 +1684,8 @@ mod tests {
             "bandwidth-starved",
             "L2 partitions: 2",
             "crossbar waits 7 cycles",
+            "energy: 100.0 nJ total",
+            "power: peak 3.500 W",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -375,6 +375,11 @@ fn memory_telemetry_is_bit_identical_across_threads() {
                 tele_n.mem_occupied_cycles(),
                 "{name}: MSHR occupancy integral diverges at {threads} threads"
             );
+            assert_eq!(
+                tele1.energy_series().points(),
+                tele_n.energy_series().points(),
+                "{name}: energy timeline diverges at {threads} threads"
+            );
         }
         // The starved config actually exercises the channels: fills
         // happened and their latency distribution is observable.
@@ -440,6 +445,20 @@ fn event_driven_fast_forward_is_bit_identical() {
                         tele.mem_occupied_cycles(),
                         ref_tele.mem_occupied_cycles(),
                         "{ctx}: MSHR occupancy integral"
+                    );
+                    // Parked SMs credit their slept cycles through
+                    // `replay_parked`, so the integer energy timeline —
+                    // SM-resident cycles included — must not see the
+                    // calendar either.
+                    assert_eq!(
+                        tele.energy_series().points(),
+                        ref_tele.energy_series().points(),
+                        "{ctx}: energy timeline"
+                    );
+                    assert_eq!(
+                        tele.energy_sm_cycles(),
+                        ref_tele.energy_sm_cycles(),
+                        "{ctx}: SM-resident cycle integral"
                     );
                     assert_eq!(
                         tele.series().column("adder.accuracy"),
