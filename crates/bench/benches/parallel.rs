@@ -73,7 +73,10 @@ fn memory_starved_kernel(num_sms: u32) -> (Program, LaunchConfig, MemImage) {
 /// Event-driven fast-forward on a memory-starved configuration: sixteen
 /// SMs riding a single-request-per-cycle DRAM/L2 with tiny MSHR files,
 /// so nearly every SM is parked on fills nearly every cycle (the
-/// calendar sleeps ~87% of SM-cycles here).
+/// calendar sleeps ~87% of SM-cycles here). The `no-mem-cal` leg keeps
+/// the SM calendar but steps the memory side every cycle — its gap to
+/// `starved/on` is the memory calendar's own contribution (skipped
+/// retire scans and MSHR view snapshots on fill-free cycles).
 fn bench_event_driven(c: &mut Criterion) {
     let starved = GpuConfig::scaled(16)
         .with_mshr_entries(4)
@@ -85,6 +88,7 @@ fn bench_event_driven(c: &mut Criterion) {
     group.sample_size(10);
     for (label, cfg) in [
         ("starved/off", starved.with_event_driven(false)),
+        ("starved/no-mem-cal", starved.with_mem_calendar(false)),
         ("starved/on", starved),
     ] {
         group.bench_function(label, |b| {

@@ -8,7 +8,9 @@
 //!     [--scale test|tiny|full] [--kernels <substring>] \
 //!     [--sim-threads <n>] [--out <dir>] \
 //!     [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>] \
-//!     [--l2-partitions <n>] [--xbar-queue <n>]
+//!     [--l2-partitions <n>] [--xbar-queue <n>] \
+//!     [--gpu harness|titan-v|titan-v-full] \
+//!     [--no-event-driven] [--no-mem-calendar]
 //! ```
 //!
 //! With `--out`, each kernel's profile is also written as
@@ -34,7 +36,7 @@ fn main() -> ExitCode {
     let args = BenchArgs::parse();
     if !args.rest.is_empty() {
         eprintln!("unexpected arguments: {:?}", args.rest);
-        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>] [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>] [--l2-partitions <n>] [--xbar-queue <n>]");
+        eprintln!("usage: profile_report [--scale test|tiny|full] [--kernels <substring>] [--sim-threads <n>] [--out <dir>] [--mshr-entries <n>] [--l2-bw <n>] [--dram-bw <n>] [--l2-partitions <n>] [--xbar-queue <n>] [--gpu harness|titan-v|titan-v-full] [--no-event-driven] [--no-mem-calendar]");
         return ExitCode::FAILURE;
     }
     let cfg = args.gpu().with_st2();
@@ -108,16 +110,28 @@ fn main() -> ExitCode {
             .copied()
             .max_by_key(|r| t.stalls[r.index()])
             .map_or("-", StallReason::name);
+        // A zero-cycle profile makes every per-cycle ratio undefined:
+        // render dashes rather than a `.max(1)`-flavoured zero that
+        // reads as a measurement.
+        let (ipc, util, rate) = if p.cycles > 0 {
+            (
+                format!("{:.3}", p.warp_instructions as f64 / p.cycles as f64),
+                format!("{:.1}", 100.0 * t.issued as f64 / t.slots.max(1) as f64),
+                format!("{:.0}", p.cycles as f64 / wall.max(1e-9) / 1e3),
+            )
+        } else {
+            ("—".into(), "—".into(), "—".into())
+        };
         println!(
-            "{:<14} {:>10} {:>7.3} {:>7.1} {:>9} {:>9} {:>9.2} {:>9.0}",
+            "{:<14} {:>10} {:>7} {:>7} {:>9} {:>9} {:>9.2} {:>9}",
             p.kernel,
             p.cycles,
-            p.warp_instructions as f64 / p.cycles.max(1) as f64,
-            100.0 * t.issued as f64 / t.slots.max(1) as f64,
+            ipc,
+            util,
             top,
             t.fetch_oob,
             wall * 1e3,
-            p.cycles as f64 / wall.max(1e-9) / 1e3,
+            rate,
         );
     }
 

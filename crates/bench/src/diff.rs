@@ -360,10 +360,31 @@ pub struct DiffLine {
     /// Candidate value.
     pub cand: f64,
     /// The change, in the metric's natural unit (relative for
-    /// ipc/percentiles, absolute share for stalls).
+    /// ipc/percentiles, absolute share for stalls). Meaningless when
+    /// `defined` is false.
     pub delta: f64,
+    /// Whether the baseline value makes the ratio well-defined. A
+    /// zero-cycle or zero-IPC baseline row (or a zero percentile /
+    /// rate / energy figure) has no meaningful relative change: the
+    /// line renders as `—` and never gates, the same treatment the
+    /// single-partition `fill_imbalance` gets.
+    pub defined: bool,
     /// Whether the change exceeds its threshold in the bad direction.
+    /// Always false when `defined` is false.
     pub regressed: bool,
+}
+
+impl DiffLine {
+    /// The delta column: `(+x.x%)` for well-defined ratios, `(—)` for
+    /// degenerate baselines.
+    #[must_use]
+    pub fn delta_str(&self) -> String {
+        if self.defined {
+            format!("({:+.1}%)", 100.0 * self.delta)
+        } else {
+            "(—)".into()
+        }
+    }
 }
 
 /// The outcome of one baseline/candidate comparison.
@@ -396,16 +417,31 @@ impl DiffReport {
         for l in self.lines.iter().filter(|l| l.regressed) {
             let _ = writeln!(
                 out,
-                "REGRESSION {:<14} {:<18} {:>10.4} -> {:>10.4} ({:+.1}%)",
+                "REGRESSION {:<14} {:<18} {:>10.4} -> {:>10.4} {}",
                 l.kernel,
                 l.metric,
                 l.base,
                 l.cand,
-                100.0 * l.delta
+                l.delta_str()
             );
         }
         for m in &self.added {
             let _ = writeln!(out, "note: kernel {m} only in candidate");
+        }
+        let degenerate: Vec<&DiffLine> = self.lines.iter().filter(|l| !l.defined).collect();
+        if !degenerate.is_empty() {
+            let _ = writeln!(out, "-- degenerate baselines (report-only, never gate) --");
+            for l in degenerate {
+                let _ = writeln!(
+                    out,
+                    "undefined  {:<14} {:<18} {:>10.4} -> {:>10.4} {}",
+                    l.kernel,
+                    l.metric,
+                    l.base,
+                    l.cand,
+                    l.delta_str()
+                );
+            }
         }
         let rates: Vec<&DiffLine> = self
             .lines
@@ -417,11 +453,11 @@ impl DiffReport {
             for l in rates {
                 let _ = writeln!(
                     out,
-                    "rate       {:<14} {:>12.0} -> {:>12.0} cycles/s ({:+.1}%)",
+                    "rate       {:<14} {:>12.0} -> {:>12.0} cycles/s {}",
                     l.kernel,
                     l.base,
                     l.cand,
-                    100.0 * l.delta
+                    l.delta_str()
                 );
             }
         }
@@ -435,12 +471,12 @@ impl DiffReport {
             for l in energies {
                 let _ = writeln!(
                     out,
-                    "energy     {:<14} {:<14} {:>12.1} -> {:>12.1} ({:+.1}%)",
+                    "energy     {:<14} {:<14} {:>12.1} -> {:>12.1} {}",
                     l.kernel,
                     l.metric,
                     l.base,
                     l.cand,
-                    100.0 * l.delta
+                    l.delta_str()
                 );
             }
         }
@@ -467,8 +503,11 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
             report.missing.push(b.kernel.clone());
             continue;
         };
-        // Relative IPC drop (positive delta = slower).
-        if b.ipc > 0.0 {
+        // Relative IPC drop (positive delta = slower). A zero-cycle or
+        // zero-IPC baseline row makes the drop undefined: emit an
+        // explicit never-gating `—` line instead of silently skipping
+        // the kernel's headline metric.
+        if b.cycles > 0 && b.ipc > 0.0 {
             let drop = 1.0 - c.ipc / b.ipc;
             report.lines.push(DiffLine {
                 kernel: b.kernel.clone(),
@@ -476,23 +515,34 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                 base: b.ipc,
                 cand: c.ipc,
                 delta: -drop,
+                defined: true,
                 regressed: drop > thr.max_ipc_drop,
+            });
+        } else {
+            report.lines.push(DiffLine {
+                kernel: b.kernel.clone(),
+                metric: "ipc".into(),
+                base: b.ipc,
+                cand: c.ipc,
+                delta: 0.0,
+                defined: false,
+                regressed: false,
             });
         }
         // Simulation throughput, version-4 baselines only. Report-only:
         // host wall-time is noisy and machine-dependent, so the sim-rate
         // column informs but never gates.
         if let (Some(bv), Some(cv)) = (b.cycles_per_sec, c.cycles_per_sec) {
-            if bv > 0.0 {
-                report.lines.push(DiffLine {
-                    kernel: b.kernel.clone(),
-                    metric: "sim_rate".into(),
-                    base: bv,
-                    cand: cv,
-                    delta: cv / bv - 1.0,
-                    regressed: false,
-                });
-            }
+            let defined = bv > 0.0;
+            report.lines.push(DiffLine {
+                kernel: b.kernel.clone(),
+                metric: "sim_rate".into(),
+                base: bv,
+                cand: cv,
+                delta: if defined { cv / bv - 1.0 } else { 0.0 },
+                defined,
+                regressed: false,
+            });
         }
         // Modeled energy, version-5 baselines only. Report-only: the
         // energy model re-prices with every calibration change, so the
@@ -509,19 +559,20 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
             let (Some(bv), Some(cv)) = (bv, cv) else {
                 continue;
             };
-            if bv <= 0.0 {
-                continue;
-            }
+            let defined = bv > 0.0;
             report.lines.push(DiffLine {
                 kernel: b.kernel.clone(),
                 metric: name.into(),
                 base: bv,
                 cand: cv,
-                delta: cv / bv - 1.0,
+                delta: if defined { cv / bv - 1.0 } else { 0.0 },
+                defined,
                 regressed: false,
             });
         }
-        // Fill-latency percentile growth, version-2 baselines only.
+        // Fill-latency percentile growth, version-2 baselines only. A
+        // zero baseline percentile (compute-only kernel: no fills)
+        // makes growth undefined — `—`, never gated.
         for (name, bv, cv) in [
             ("fill_p50", b.fill_p50, c.fill_p50),
             ("fill_p95", b.fill_p95, c.fill_p95),
@@ -530,6 +581,15 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                 continue;
             };
             if bv == 0 {
+                report.lines.push(DiffLine {
+                    kernel: b.kernel.clone(),
+                    metric: name.into(),
+                    base: 0.0,
+                    cand: cv as f64,
+                    delta: 0.0,
+                    defined: false,
+                    regressed: false,
+                });
                 continue;
             }
             let growth = cv as f64 / bv as f64 - 1.0;
@@ -539,6 +599,7 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                 base: bv as f64,
                 cand: cv as f64,
                 delta: growth,
+                defined: true,
                 regressed: growth > thr.max_p95_growth,
             });
         }
@@ -563,6 +624,9 @@ pub fn diff_summaries(base: &SummaryDoc, cand: &SummaryDoc, thr: &DiffThresholds
                     base: sb,
                     cand: sc,
                     delta: sc - sb,
+                    // Shares are absolute (of total slots), defined even
+                    // when the baseline share is zero.
+                    defined: true,
                     regressed: shift > thr.max_stall_shift,
                 });
             }
@@ -716,6 +780,70 @@ mod tests {
             text.contains("REGRESSION"),
             "render names the failure:\n{text}"
         );
+    }
+
+    #[test]
+    fn empty_summaries_compare_clean() {
+        let thr = DiffThresholds::default();
+        let report = diff_summaries(&doc(vec![]), &doc(vec![]), &thr);
+        assert!(report.lines.is_empty());
+        assert!(report.missing.is_empty() && report.added.is_empty());
+        assert!(!report.regressed());
+        assert!(report.render().contains("0 metrics compared"));
+    }
+
+    #[test]
+    fn degenerate_baselines_render_as_dash_and_never_gate() {
+        // A zero-cycle / zero-IPC baseline row (or a zero percentile,
+        // rate or energy figure) has no defined relative change. The
+        // row must not silently vanish from the report, must render as
+        // `—`, and must never gate — no matter what the candidate does.
+        let thr = DiffThresholds::default();
+        let mut dead = row("a", 0.0, 0, 0.30);
+        dead.cycles = 0;
+        dead.warp_instructions = 0;
+        dead.cycles_per_sec = Some(0.0);
+        dead.total_energy_nj = Some(0.0);
+        dead.dram_energy_nj = Some(0.0);
+        dead.energy_per_instruction_pj = Some(0.0);
+        let cand = row("a", 2.0, 512, 0.30);
+        let report = diff_summaries(&doc(vec![dead]), &doc(vec![cand]), &thr);
+        assert!(!report.regressed(), "degenerate baselines must never gate");
+        for metric in [
+            "ipc",
+            "sim_rate",
+            "energy_nj",
+            "energy_dram_nj",
+            "energy_epi_pj",
+            "fill_p50",
+            "fill_p95",
+        ] {
+            let l = report
+                .lines
+                .iter()
+                .find(|l| l.metric == metric)
+                .unwrap_or_else(|| panic!("{metric} line missing from the report"));
+            assert!(!l.defined, "{metric}: zero baseline must be undefined");
+            assert!(!l.regressed, "{metric}: undefined line gated");
+            assert_eq!(l.delta_str(), "(—)", "{metric}");
+        }
+        let text = report.render();
+        assert!(
+            text.contains("degenerate baselines") && text.contains("(—)"),
+            "render must surface the undefined rows:\n{text}"
+        );
+        // The reverse direction is an ordinary, fully defined diff: the
+        // candidate collapsing to zero IPC is a 100% drop and gates.
+        let report = diff_summaries(
+            &doc(vec![row("a", 2.0, 512, 0.30)]),
+            &doc(vec![{
+                let mut d = row("a", 0.0, 0, 0.30);
+                d.cycles = 0;
+                d
+            }]),
+            &thr,
+        );
+        assert!(report.regressed(), "a collapsed candidate must gate");
     }
 
     #[test]

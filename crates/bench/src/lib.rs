@@ -35,6 +35,12 @@ use st2::sim::ActivityCounters;
 /// * `--no-event-driven` — force the legacy step-everything driver
 ///   ([`GpuConfig::event_driven`] off; results are bit-identical, this
 ///   is a wall-clock cross-check / escape hatch)
+/// * `--no-mem-calendar` — keep the SM fast-forward but step the memory
+///   side every cycle ([`GpuConfig::mem_calendar`] off; bit-identical,
+///   the memory-side escape hatch)
+/// * `--gpu harness|titan-v|titan-v-full` — base GPU preset before
+///   overrides: the 4-SM harness slice (default),
+///   [`GpuConfig::titan_v`], or the 80-SM [`GpuConfig::titan_v_full`]
 ///
 /// Unrecognised tokens land in [`BenchArgs::rest`] for binaries with
 /// positional arguments (e.g. `trace_report <kernel> [out_dir]`).
@@ -60,8 +66,35 @@ pub struct BenchArgs {
     pub xbar_queue: Option<u32>,
     /// Disable the event-driven fast-forward (`--no-event-driven`).
     pub no_event_driven: bool,
+    /// Disable the memory-side wake calendar (`--no-mem-calendar`).
+    pub no_mem_calendar: bool,
+    /// Base GPU preset (`--gpu`); `None` means the harness default.
+    pub gpu_preset: Option<GpuPreset>,
     /// Everything not consumed by a flag, in order.
     pub rest: Vec<String>,
+}
+
+/// Base GPU presets selectable with `--gpu` (overrides apply on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuPreset {
+    /// The 4-SM harness slice ([`harness_gpu`], the default).
+    Harness,
+    /// The paper's 20-SM TITAN V slice ([`GpuConfig::titan_v`]).
+    TitanV,
+    /// The full 80-SM TITAN V ([`GpuConfig::titan_v_full`]).
+    TitanVFull,
+}
+
+impl GpuPreset {
+    /// The preset's base configuration.
+    #[must_use]
+    pub fn config(self) -> GpuConfig {
+        match self {
+            GpuPreset::Harness => harness_gpu(),
+            GpuPreset::TitanV => GpuConfig::titan_v(),
+            GpuPreset::TitanVFull => GpuConfig::titan_v_full(),
+        }
+    }
 }
 
 impl BenchArgs {
@@ -122,6 +155,17 @@ impl BenchArgs {
                     }
                 }
                 "--no-event-driven" => args.no_event_driven = true,
+                "--no-mem-calendar" => args.no_mem_calendar = true,
+                "--gpu" => {
+                    args.gpu_preset = Some(match value("--gpu").as_str() {
+                        "harness" => GpuPreset::Harness,
+                        "titan-v" => GpuPreset::TitanV,
+                        "titan-v-full" => GpuPreset::TitanVFull,
+                        other => {
+                            panic!("--gpu must be harness, titan-v or titan-v-full, got {other:?}")
+                        }
+                    });
+                }
                 _ => args.rest.push(tok),
             }
         }
@@ -138,7 +182,7 @@ impl BenchArgs {
     /// overrides applied.
     #[must_use]
     pub fn gpu(&self) -> GpuConfig {
-        let mut cfg = harness_gpu();
+        let mut cfg = self.gpu_preset.map_or_else(harness_gpu, GpuPreset::config);
         if let Some(t) = self.sim_threads {
             cfg = cfg.with_sim_threads(t);
         }
@@ -159,6 +203,9 @@ impl BenchArgs {
         }
         if self.no_event_driven {
             cfg = cfg.with_event_driven(false);
+        }
+        if self.no_mem_calendar {
+            cfg = cfg.with_mem_calendar(false);
         }
         cfg
     }
@@ -386,6 +433,9 @@ mod tests {
             "--xbar-queue",
             "4",
             "--no-event-driven",
+            "--no-mem-calendar",
+            "--gpu",
+            "titan-v-full",
         ];
         let args = BenchArgs::from_tokens(toks.iter().map(ToString::to_string));
         assert_eq!(args.scale, Scale::Test);
@@ -401,6 +451,9 @@ mod tests {
         assert_eq!(gpu.l2_partitions, 2);
         assert_eq!(gpu.xbar_queue, 4);
         assert!(args.no_event_driven && !gpu.event_driven);
+        assert!(args.no_mem_calendar && !gpu.mem_calendar);
+        assert_eq!(args.gpu_preset, Some(GpuPreset::TitanVFull));
+        assert_eq!(gpu.num_sms, GpuConfig::titan_v_full().num_sms);
         assert!(args.matches("pathfinder"));
         assert!(!args.matches("histogram"));
     }
@@ -413,7 +466,8 @@ mod tests {
         assert!(args.out.is_none() && args.kernels.is_none() && args.sim_threads.is_none());
         assert!(args.mshr_entries.is_none() && args.l2_bw.is_none() && args.dram_bw.is_none());
         assert!(args.l2_partitions.is_none() && args.xbar_queue.is_none());
-        assert!(!args.no_event_driven);
+        assert!(!args.no_event_driven && !args.no_mem_calendar);
+        assert!(args.gpu_preset.is_none());
         assert_eq!(args.rest, vec!["pathfinder", "out_dir"]);
         assert_eq!(
             args.gpu(),

@@ -125,6 +125,17 @@ pub struct GpuConfig {
     /// escape hatch and cross-check. Like `sim_threads`, purely a
     /// wall-clock knob.
     pub event_driven: bool,
+
+    /// Memory-side wake calendar: when every SM is asleep, the drivers
+    /// consult each partition's provable next event (earliest pending
+    /// fill completion) and fast-forward the whole machine to the global
+    /// next event instead of stepping the drain/route/arbiter phases
+    /// through cycles where they are no-ops. Skipped integrals are
+    /// replayed in aggregate at wake, so results are bit-identical
+    /// either way (the determinism suite asserts it). Only consulted
+    /// when [`GpuConfig::event_driven`] is on; `false` is the escape
+    /// hatch and cross-check. Purely a wall-clock knob.
+    pub mem_calendar: bool,
 }
 
 /// Default for [`GpuConfig::event_driven`]: on. Configs built before the
@@ -133,6 +144,15 @@ pub struct GpuConfig {
 /// `serde_derive` stub has no `#[serde(default)]` support; constructors
 /// apply this directly.)
 fn default_event_driven() -> bool {
+    true
+}
+
+/// Default for [`GpuConfig::mem_calendar`]: on, for the same reason as
+/// [`default_event_driven`] — the calendarized memory side is
+/// bit-identical to per-cycle stepping, so legacy configs land on the
+/// fast path safely. (Same vendored-`serde_derive` caveat: constructors
+/// apply this directly.)
+fn default_mem_calendar() -> bool {
     true
 }
 
@@ -178,6 +198,27 @@ impl GpuConfig {
             speculation: None,
             sim_threads: 0,
             event_driven: default_event_driven(),
+            mem_calendar: default_mem_calendar(),
+        }
+    }
+
+    /// The full 80-SM TITAN V as a run-ready timed-engine preset: the
+    /// [`GpuConfig::titan_v`] per-SM shape at chip scale, with the
+    /// memory side widened so every per-partition slice divides evenly
+    /// (8 L2 partitions; two L2 request slots and one DRAM fill slot per
+    /// partition per cycle; the full 64-entry MSHR file splits into
+    /// 8-entry per-partition slices per SM). Guaranteed to pass
+    /// [`GpuConfig::validate`] — the config test suite pins the
+    /// divisibility so the per-partition derivation in
+    /// `Partition::build_all` never rounds.
+    #[must_use]
+    pub fn titan_v_full() -> Self {
+        GpuConfig {
+            l2_partitions: 8,
+            l2_bw: 16,
+            dram_bw: 8,
+            xbar_queue: 8,
+            ..Self::titan_v()
         }
     }
 
@@ -248,27 +289,37 @@ impl GpuConfig {
         self
     }
 
-    /// Sets the per-SM MSHR file size (clamped to at least 1). Small
-    /// values throttle memory-level parallelism.
+    /// Toggles the memory-side wake calendar (default on). `false`
+    /// steps the partition drain/route/arbiter phases every cycle —
+    /// bit-identical, just slower.
+    #[must_use]
+    pub fn with_mem_calendar(mut self, on: bool) -> Self {
+        self.mem_calendar = on;
+        self
+    }
+
+    /// Sets the per-SM MSHR file size. Small values throttle
+    /// memory-level parallelism; zero is rejected by
+    /// [`GpuConfig::validate`], not clamped here.
     #[must_use]
     pub fn with_mshr_entries(mut self, entries: u32) -> Self {
-        self.mshr_entries = entries.max(1);
+        self.mshr_entries = entries;
         self
     }
 
-    /// Sets the chip-wide L2 request bandwidth (requests per cycle,
-    /// clamped to at least 1).
+    /// Sets the chip-wide L2 request bandwidth (requests per cycle).
+    /// Zero is rejected by [`GpuConfig::validate`], not clamped here.
     #[must_use]
     pub fn with_l2_bw(mut self, bw: u32) -> Self {
-        self.l2_bw = bw.max(1);
+        self.l2_bw = bw;
         self
     }
 
-    /// Sets the chip-wide DRAM fill bandwidth (fills per cycle, clamped
-    /// to at least 1).
+    /// Sets the chip-wide DRAM fill bandwidth (fills per cycle). Zero
+    /// is rejected by [`GpuConfig::validate`], not clamped here.
     #[must_use]
     pub fn with_dram_bw(mut self, bw: u32) -> Self {
-        self.dram_bw = bw.max(1);
+        self.dram_bw = bw;
         self
     }
 
@@ -295,12 +346,30 @@ impl GpuConfig {
     ///
     /// Returns a message when the L1 and L2 line sizes differ (the
     /// hierarchy tags both levels at one granularity), a line size is
-    /// not a positive power of two, `l2_partitions` is zero or not a
-    /// power of two (the address decoder folds the line address into
-    /// `log2(partitions)` bits), the crossbar queue depth is zero, or
+    /// not a positive power of two, a cache associativity, the MSHR
+    /// file capacity, or an L2/DRAM bandwidth is zero (a machine that
+    /// can never hold or service a request deadlocks the first miss, so
+    /// zeros are rejected here instead of silently clamped to 1 deep in
+    /// `memory.rs`), `l2_partitions` is zero or not a power of two (the
+    /// address decoder folds the line address into `log2(partitions)`
+    /// bits), the crossbar queue depth is zero, or
     /// `l2_bw < l2_partitions` (each partition needs at least one L2
     /// request slot per cycle).
     pub fn validate(&self) -> Result<(), String> {
+        for (knob, v) in [
+            ("l1_assoc", self.l1_assoc),
+            ("l2_assoc", self.l2_assoc),
+            ("mshr_entries", self.mshr_entries),
+            ("l2_bw", self.l2_bw),
+            ("dram_bw", self.dram_bw),
+        ] {
+            if v == 0 {
+                return Err(format!(
+                    "{knob} must be at least 1: a zero-{knob} machine can never \
+                     hold or service a memory request"
+                ));
+            }
+        }
         if self.l1_line != self.l2_line {
             return Err(format!(
                 "l1_line ({}) must equal l2_line ({}): mixed-granularity tagging is unsupported",
@@ -393,16 +462,31 @@ mod tests {
     }
 
     #[test]
-    fn memory_knobs_scale_and_clamp() {
+    fn memory_knobs_scale_and_zero_is_rejected() {
         let full = GpuConfig::titan_v();
         assert_eq!(full.mshr_entries, 64);
         assert!(full.l2_bw >= full.dram_bw, "L2 ingests more than DRAM");
         let small = GpuConfig::scaled(4);
         assert!(small.l2_bw < full.l2_bw);
         assert!(small.dram_bw >= 1);
-        assert_eq!(small.with_mshr_entries(0).mshr_entries, 1);
-        assert_eq!(small.with_l2_bw(0).l2_bw, 1);
         assert_eq!(small.with_dram_bw(7).dram_bw, 7);
+        // Zero-valued knobs are no longer silently clamped to 1: the
+        // builders store them verbatim and `validate` rejects them with
+        // the knob's name in the message.
+        for (cfg, knob) in [
+            (small.with_mshr_entries(0), "mshr_entries"),
+            (small.with_l2_bw(0), "l2_bw"),
+            (small.with_dram_bw(0), "dram_bw"),
+        ] {
+            let err = cfg.validate().expect_err(knob);
+            assert!(err.contains(knob), "{knob}: {err}");
+        }
+        let mut c = small;
+        c.l1_assoc = 0;
+        assert!(c.validate().expect_err("l1_assoc").contains("l1_assoc"));
+        c.l1_assoc = small.l1_assoc;
+        c.l2_assoc = 0;
+        assert!(c.validate().expect_err("l2_assoc").contains("l2_assoc"));
     }
 
     #[test]
@@ -425,6 +509,33 @@ mod tests {
         assert!(GpuConfig::scaled(4).event_driven, "inherited via scaled");
         assert!(!GpuConfig::scaled(4).with_event_driven(false).event_driven);
         assert!(super::default_event_driven());
+    }
+
+    #[test]
+    fn mem_calendar_defaults_on() {
+        assert!(GpuConfig::titan_v().mem_calendar);
+        assert!(GpuConfig::scaled(4).mem_calendar, "inherited via scaled");
+        assert!(!GpuConfig::scaled(4).with_mem_calendar(false).mem_calendar);
+        assert!(super::default_mem_calendar());
+    }
+
+    #[test]
+    fn titan_v_full_preset() {
+        let c = GpuConfig::titan_v_full();
+        assert_eq!(c.num_sms, 80);
+        assert!(c.validate().is_ok());
+        // The memory side divides evenly into partition slices, so the
+        // per-partition derivation in `Partition::build_all` never
+        // rounds: 2 L2 slots and 1 DRAM slot per partition per cycle,
+        // 8 MSHR entries per (SM, partition) slice.
+        assert_eq!(c.l2_partitions, 8);
+        assert_eq!(c.l2_bw % c.l2_partitions, 0);
+        assert_eq!(c.dram_bw % c.l2_partitions, 0);
+        assert_eq!(c.mshr_entries % c.l2_partitions, 0);
+        assert_eq!(c.mshr_entries / c.l2_partitions, 8);
+        // Same per-SM shape as the reference titan_v.
+        assert_eq!(c.alu_pipes, GpuConfig::titan_v().alu_pipes);
+        assert_eq!(c.l2_bytes, GpuConfig::titan_v().l2_bytes);
     }
 
     #[test]

@@ -51,10 +51,13 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics on degenerate geometry (fewer than one set).
+    /// Panics on degenerate geometry (zero associativity — rejected up
+    /// front by [`GpuConfig::validate`], so a zero here is a caller bug,
+    /// not something to silently round up — or fewer than one set).
     #[must_use]
     pub fn new(bytes: u64, line: u64, assoc: u32) -> Self {
-        let assoc = assoc.max(1) as usize;
+        assert!(assoc >= 1, "cache associativity must be at least 1");
+        let assoc = assoc as usize;
         let lines = (bytes / line).max(1);
         let wanted = (lines as usize / assoc).max(1);
         let sets = 1usize << wanted.ilog2();
@@ -115,20 +118,43 @@ struct Mshr {
 struct MshrFile {
     entries: Vec<Mshr>,
     capacity: usize,
+    /// Cached `min(ready_at)` over `entries` (`u64::MAX` when empty),
+    /// maintained on every mutation so [`MshrFile::earliest`] — polled
+    /// every cycle by the MSHR views and the memory calendar — is O(1).
+    min_ready: u64,
 }
 
 impl MshrFile {
     fn new(capacity: u32) -> Self {
-        let capacity = capacity.max(1) as usize;
+        // Zero-capacity files are rejected by `GpuConfig::validate`
+        // (`mshr_entries >= 1`) and `Partition::build_all` floors each
+        // per-partition slice at one entry, so a zero here is a bug.
+        assert!(capacity >= 1, "MSHR file capacity must be at least 1");
+        let capacity = capacity as usize;
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            min_ready: u64::MAX,
         }
     }
 
-    /// Drops every entry whose fill has landed by `now`.
+    /// Drops every entry whose fill has landed by `now`. The cached
+    /// minimum makes the no-op case (`min_ready > now`: every fill
+    /// still in flight) a single compare.
     fn retire(&mut self, now: u64) {
-        self.entries.retain(|e| e.ready_at > now);
+        if self.min_ready > now {
+            return;
+        }
+        let mut min = u64::MAX;
+        self.entries.retain(|e| {
+            if e.ready_at > now {
+                min = min.min(e.ready_at);
+                true
+            } else {
+                false
+            }
+        });
+        self.min_ready = min;
     }
 
     /// Fill time of an in-flight entry for `line`, if one exists.
@@ -154,10 +180,18 @@ impl MshrFile {
             .min_by_key(|(i, e)| (e.ready_at, *i))
             .map(|(i, _)| i)
             .expect("evict_earliest on an empty MSHR file");
-        self.entries.remove(idx).ready_at
+        let ready = self.entries.remove(idx).ready_at;
+        self.min_ready = self
+            .entries
+            .iter()
+            .map(|e| e.ready_at)
+            .min()
+            .unwrap_or(u64::MAX);
+        ready
     }
 
     fn allocate(&mut self, line: u64, ready_at: u64) {
+        self.min_ready = self.min_ready.min(ready_at);
         self.entries.push(Mshr { line, ready_at });
     }
 
@@ -167,11 +201,16 @@ impl MshrFile {
 
     /// Earliest in-flight fill time (`u64::MAX` when empty).
     fn earliest(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| e.ready_at)
-            .min()
-            .unwrap_or(u64::MAX)
+        debug_assert_eq!(
+            self.min_ready,
+            self.entries
+                .iter()
+                .map(|e| e.ready_at)
+                .min()
+                .unwrap_or(u64::MAX),
+            "MSHR min_ready cache out of sync"
+        );
+        self.min_ready
     }
 }
 
@@ -191,11 +230,15 @@ impl BwSlots {
     /// Reserves the next free service slot at or after `at`; returns the
     /// cycle the request is actually serviced.
     fn reserve(&mut self, at: u64, per_cycle: u32) -> u64 {
+        // `GpuConfig::validate` rejects zero bandwidths and
+        // `Partition::build_all` floors per-partition slices, so every
+        // caller passes at least one slot per cycle.
+        debug_assert!(per_cycle >= 1, "bandwidth slots per cycle must be >= 1");
         if at > self.cycle {
             self.cycle = at;
             self.used = 0;
         }
-        if self.used >= per_cycle.max(1) {
+        if self.used >= per_cycle {
             self.cycle += 1;
             self.used = 0;
         }
@@ -220,10 +263,13 @@ struct XbarPort {
 impl XbarPort {
     /// Admits a request arriving at `at`; returns `(admit_cycle, wait)`.
     fn admit(&mut self, at: u64, depth: u32) -> (u64, u64) {
+        // Zero-depth ports are rejected by `GpuConfig::validate`
+        // (`xbar_queue >= 1`), not rounded up here.
+        debug_assert!(depth >= 1, "crossbar port depth must be >= 1");
         while self.grants.front().is_some_and(|&g| g <= at) {
             self.grants.pop_front();
         }
-        if self.grants.len() >= depth.max(1) as usize {
+        if self.grants.len() >= depth as usize {
             let admit = self
                 .grants
                 .pop_front()
@@ -509,6 +555,26 @@ impl Partition {
         self.mshrs[sm].earliest()
     }
 
+    /// The partition's provable next event: the earliest in-flight fill
+    /// completion across every SM's MSHR slice (`u64::MAX` when no fill
+    /// is in flight). Strictly before that cycle the partition's
+    /// per-cycle phases are no-ops given no new request arrives:
+    /// [`Partition::retire_fills`] retains every entry (no `ready_at`
+    /// has passed), and the `BwSlots` arbiters and crossbar ports only
+    /// change state when [`Partition::access`] runs. The memory
+    /// calendar uses this to fast-forward a quiet machine to the global
+    /// next event; waking at any earlier cycle is always safe (the
+    /// skipped phases are still no-ops), so a conservative (smaller)
+    /// bound never perturbs timing.
+    #[must_use]
+    pub fn next_event(&self) -> u64 {
+        self.mshrs
+            .iter()
+            .map(MshrFile::earliest)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// SM `sm`'s MSHR slice state in this partition.
     #[must_use]
     pub fn mshr_view(&self, sm: usize) -> MshrView {
@@ -633,6 +699,19 @@ impl MemoryHierarchy {
         for part in &mut self.parts {
             part.retire_fills(sm, now);
         }
+    }
+
+    /// The hierarchy's provable next event: the minimum of
+    /// [`Partition::next_event`] over every partition (`u64::MAX` when
+    /// the whole memory side is idle). The serial driver's memory
+    /// calendar entry.
+    #[must_use]
+    pub fn next_event(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(Partition::next_event)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// SM `sm`'s aggregate MSHR file state across partitions: `(total
@@ -1033,6 +1112,34 @@ mod tests {
         // And the hint clears once the fill retires.
         h.retire_fills(0, a.ready_at);
         assert_eq!(h.partition_mut(p).earliest_fill(0), u64::MAX);
+    }
+
+    #[test]
+    fn next_event_tracks_earliest_fill() {
+        let cfg = GpuConfig::scaled(2);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut act = ActivityCounters::default();
+        assert_eq!(h.next_event(), u64::MAX, "idle memory side has no event");
+        let a = h.access(0, 0x10000, 0, &mut act);
+        let b = h.access(1, 0x9000_0000, 2, &mut act);
+        assert_eq!(h.next_event(), a.ready_at.min(b.ready_at));
+        let p = h.decoder().decode(0x10000);
+        assert_eq!(
+            h.partition_mut(p).next_event(),
+            a.ready_at,
+            "per-partition event is the slice's earliest fill"
+        );
+        // Retiring the earlier fill advances the event to the later one.
+        let first = a.ready_at.min(b.ready_at);
+        let later = a.ready_at.max(b.ready_at);
+        for sm in 0..2 {
+            h.retire_fills(sm, first);
+        }
+        assert_eq!(h.next_event(), later);
+        for sm in 0..2 {
+            h.retire_fills(sm, later);
+        }
+        assert_eq!(h.next_event(), u64::MAX);
     }
 
     #[test]

@@ -276,7 +276,15 @@ pub struct CycleReport {
     pub issued: bool,
     /// Earliest future cycle at which a currently-stalled warp could
     /// issue (`u64::MAX` = no stalled warp); lets the driver fast-forward
-    /// idle stretches.
+    /// idle stretches. Memory stalls always publish a *finite* wake:
+    /// `MemPending` reports `ready_at.max(pipe_free)` (load completions
+    /// resolve the same cycle the fill lands, via `complete_memory`) and
+    /// `MemThrottle` reports the MSHR wake hint — only `Done`/`Barrier`
+    /// warps are `u64::MAX`. That exactness is what lets the drivers
+    /// park the SM until this cycle with no intermediate polling, and
+    /// why a machine-wide `next_wake == u64::MAX` means every warp is
+    /// finished or barrier-parked (the quiet-machine jump in
+    /// `timed.rs`).
     pub next_wake: u64,
 }
 

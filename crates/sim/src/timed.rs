@@ -69,6 +69,15 @@ pub struct TimedOutput {
     /// or earliest fill arrived). Telemetry-boundary replays keep the
     /// SM parked and are not counted.
     pub ff_wakeups: u64,
+    /// Clock cycles whose memory round — partition fill retirement,
+    /// request routing, drains, the L2/DRAM arbiters and the MSHR view
+    /// snapshots — the memory calendar provably skipped while at least
+    /// one fill was in flight (no partition's next event was due and no
+    /// awake SM queued a request), plus any cycles the fully-quiet
+    /// machine fast-forwarded to the combined calendar's global next
+    /// event. Zero with [`GpuConfig::mem_calendar`] off. Diagnostic
+    /// only, like `sm_sleep_cycles`.
+    pub mem_skip_cycles: u64,
 }
 
 /// Options shared by the unified run entry points
@@ -197,8 +206,27 @@ fn next_cycle(now: u64, any_issued: bool, next_wake: u64) -> u64 {
 /// next clock stop; it is roused no later than that wake, so no fill
 /// retirement, reclassification or admission it could observe is ever
 /// missed.
+///
+/// The calendar also owns the **memory side** ([`GpuConfig::mem_calendar`]):
+/// a per-partition cache of [`Partition::next_event`] — the earliest
+/// pending fill completion, refreshed on every retirement and drain, so
+/// it is exact at every decision point. Strictly before that cycle a
+/// partition's retire/drain/arbiter phases are provable no-ops (given
+/// no new request, which the drivers check separately), so the drivers
+/// skip them. Combined with the SM heap it yields the machine's global
+/// next event: when every SM is parked and the frozen wake aggregate is
+/// `u64::MAX`, the lockstep path would single-step the clock doing
+/// nothing until the earliest SM calendar entry or telemetry boundary —
+/// [`WakeCalendar::quiet_jump`] collapses that stretch into one
+/// iteration. Each collapsed iteration would have advanced the clock by
+/// exactly one cycle, so crediting the skipped count to both the
+/// committed-iteration counter and the clock keeps every sleeper's
+/// `(iterations, cycles)` replay window — and therefore every counter,
+/// histogram and interval row — bit-identical.
 struct WakeCalendar {
     enabled: bool,
+    /// Memory-side calendar enabled ([`GpuConfig::mem_calendar`]).
+    mem_enabled: bool,
     asleep: Vec<bool>,
     /// Start of each sleeper's unreplayed window: first skipped clock
     /// cycle and first skipped driver iteration.
@@ -219,13 +247,22 @@ struct WakeCalendar {
     interval: u64,
     sleep_cycles: u64,
     wakeups: u64,
+    /// Cached per-partition next events ([`Partition::next_event`]),
+    /// exact at every decision point: refreshed after each retirement
+    /// pass and each drain, the only operations that change a
+    /// partition's fill set.
+    mem_next: Vec<u64>,
+    mem_skip_cycles: u64,
 }
 
 impl WakeCalendar {
-    fn new(cfg: &GpuConfig, tele: &Telemetry, num_sms: usize) -> Self {
+    fn new(cfg: &GpuConfig, tele: &Telemetry, num_sms: usize, num_parts: usize) -> Self {
         let interval = tele.config().interval_cycles.max(1);
         WakeCalendar {
             enabled: cfg.event_driven,
+            // Only consulted with the SM calendar on: the knob is a
+            // refinement of the event-driven mode, not a separate one.
+            mem_enabled: cfg.event_driven && cfg.mem_calendar,
             asleep: vec![false; num_sms],
             from_cycle: vec![0; num_sms],
             from_iter: vec![0; num_sms],
@@ -239,11 +276,70 @@ impl WakeCalendar {
             interval,
             sleep_cycles: 0,
             wakeups: 0,
+            mem_next: vec![u64::MAX; num_parts],
+            mem_skip_cycles: 0,
         }
     }
 
     fn is_asleep(&self, sm: usize) -> bool {
         self.asleep[sm]
+    }
+
+    /// Whether partition `p` may have retirement work at `now`. With the
+    /// memory calendar off this is always true (the legacy
+    /// step-everything path); with it on, a cached next event beyond
+    /// `now` proves every MSHR entry in the partition still has
+    /// `ready_at > now`, so the retain scans would keep everything.
+    fn mem_due(&self, p: usize, now: u64) -> bool {
+        !self.mem_enabled || self.mem_next[p] <= now
+    }
+
+    /// Records partition `p`'s freshly recomputed next event.
+    fn mem_refresh(&mut self, p: usize, next: u64) {
+        self.mem_next[p] = next;
+    }
+
+    /// Records a fully skipped memory round: `dt` clock cycles whose
+    /// retire/route/drain/view phases were provably no-ops (no partition
+    /// due, no awake SM queued a request). Counted only while some fill
+    /// is actually in flight, so the diagnostic measures deferred
+    /// memory-side work rather than an idle memory system.
+    fn note_round_skip(&mut self, dt: u64) {
+        if self.mem_next.iter().any(|&n| n != u64::MAX) {
+            self.mem_skip_cycles += dt;
+        }
+    }
+
+    /// The fully-quiet-machine fast-forward. Preconditions (checked by
+    /// the callers): every SM is parked and the frozen wake aggregate is
+    /// `u64::MAX`, so `next_cycle` chose `now + 1` and the lockstep
+    /// path would single-step through iterations in which nothing can
+    /// happen — no admission, no step, no queued request, no due
+    /// retirement (every sleeper's fills lie beyond its wake). Jumps
+    /// `next_now` to the combined calendar's global next event —
+    /// earliest SM wake, earliest pending partition fill, or the next
+    /// telemetry boundary, whichever is first (capped at the deadlock
+    /// guard so a machine with no event at all still trips it) — and
+    /// credits the skipped iterations: each would have advanced the
+    /// clock by exactly one cycle, so iterations == cycles over the
+    /// stretch and every replay window stays exact.
+    fn quiet_jump(&mut self, next_now: u64) -> u64 {
+        if !self.mem_enabled {
+            return next_now;
+        }
+        let sm_next = self
+            .calendar
+            .peek()
+            .map_or(u64::MAX, |&Reverse((at, _))| at);
+        let mem_next = self.mem_next.iter().copied().min().unwrap_or(u64::MAX);
+        let target = sm_next.min(mem_next).min(self.next_flush).min(MAX_CYCLES);
+        if target <= next_now {
+            return next_now;
+        }
+        let skipped = target - next_now;
+        self.iter += skipped;
+        self.mem_skip_cycles += skipped;
+        target
     }
 
     /// Parks `sm` after this iteration's completion phase if it is
@@ -360,13 +456,22 @@ fn run_serial(
         .map(|_| PartitionLane::new())
         .collect();
     let mut completions: Vec<Vec<Completion>> = (0..cfg.num_sms).map(|_| Vec::new()).collect();
-    let mut views: Vec<MshrView> = Vec::new();
+    // Seed each SM's view cache with the initial (all-free) MSHR views:
+    // the memory calendar lets phase 3c skip refreshing them on cycles
+    // where no partition state changed, so the cache must start valid.
+    let mut views: Vec<Vec<MshrView>> = (0..cfg.num_sms as usize)
+        .map(|sm| {
+            let mut v = Vec::new();
+            hier.mshr_views(sm, &mut v);
+            v
+        })
+        .collect();
 
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
     let mut reports: Vec<CycleReport> = vec![CycleReport::default(); cfg.num_sms as usize];
-    let mut cal = WakeCalendar::new(cfg, tele, cfg.num_sms as usize);
+    let mut cal = WakeCalendar::new(cfg, tele, cfg.num_sms as usize, hier.num_partitions());
     let mut due: Vec<usize> = Vec::new();
 
     loop {
@@ -393,9 +498,13 @@ fn run_serial(
         let mut any_issued = false;
         let mut next_wake = u64::MAX;
         let mut busy_sms = 0u64;
+        let mut awake_sms = 0u32;
+        let mut any_queued = false;
         for (sm, (core, queue)) in cores.iter_mut().zip(queues.iter_mut()).enumerate() {
             if !cal.is_asleep(sm) {
                 reports[sm] = core.step_cycle(now, program, launch, &mut *global, queue, tele);
+                awake_sms += 1;
+                any_queued |= !queue.is_empty();
             }
             let r = reports[sm];
             any_resident |= r.resident;
@@ -413,34 +522,68 @@ fn run_serial(
         // Phase 3: drain memory, finish, advance time. SM active/idle
         // accounting covers the whole interval, not just the iteration,
         // so fast-forwarding does not distort static energy.
-        let next_now = next_cycle(now, any_issued, next_wake);
+        let mut next_now = next_cycle(now, any_issued, next_wake);
+        if awake_sms == 0 && next_wake == u64::MAX {
+            debug_assert!(!any_issued, "a sleeping SM cannot have issued");
+            next_now = cal.quiet_jump(next_now);
+        }
         let dt = next_now - now;
-        // 3a: retire landed fills. Retirement touches only the owning
-        // SM's MSHR slices — no shared arbiter state — so hoisting it
-        // ahead of every access reorders only commuting operations.
-        // Sleeping SMs are skipped: while parked, `now` stays below
-        // their earliest in-flight fill (part of the wake key), so
-        // retirement would be a no-op anyway.
-        for sm in 0..cores.len() {
-            if !cal.is_asleep(sm) {
-                hier.retire_fills(sm, now);
+        // With the memory calendar on, the whole memory round — fill
+        // retirement, routing, drains and the MSHR view refresh — is
+        // skipped when no partition has a due fill and no awake SM
+        // queued a request this cycle: partition state is then provably
+        // untouched, so the cached views stay exact.
+        let mem_round = (0..lanes.len()).any(|p| cal.mem_due(p, now)) || any_queued;
+        if mem_round {
+            // 3a: retire landed fills. Retirement touches only the
+            // owning SM's MSHR slices — no shared arbiter state — so
+            // hoisting it ahead of every access reorders only commuting
+            // operations, and the per-SM/per-partition retain scans
+            // commute with each other for the same reason. Sleeping SMs
+            // are skipped: while parked, `now` stays below their
+            // earliest in-flight fill (part of the wake key), so
+            // retirement would be a no-op anyway. The memory calendar
+            // skips whole partitions the same way: a cached next event
+            // beyond `now` proves every entry outlives this cycle.
+            for p in 0..lanes.len() {
+                if !cal.mem_due(p, now) {
+                    continue;
+                }
+                let part = hier.partition_mut(p);
+                for sm in 0..cores.len() {
+                    if !cal.is_asleep(sm) {
+                        part.retire_fills(sm, now);
+                    }
+                }
+                if cal.mem_enabled {
+                    let next = part.next_event();
+                    cal.mem_refresh(p, next);
+                }
             }
-        }
-        // 3b: route every queue into the partition lanes (SM-index,
-        // issue order), drain the partitions in index order, and gather
-        // the results back per SM. Sleeping SMs queued nothing, and
-        // lanes with no queued requests have nothing to serve.
-        for (sm, queue) in queues.iter_mut().enumerate() {
-            if !cal.is_asleep(sm) {
-                route_requests(queue, sm, &decoder, &mut lanes, &mut completions[sm]);
+            // 3b: route every queue into the partition lanes (SM-index,
+            // issue order), drain the partitions in index order, and
+            // gather the results back per SM. Sleeping SMs queued
+            // nothing, and lanes with no queued requests have nothing
+            // to serve.
+            for (sm, queue) in queues.iter_mut().enumerate() {
+                if !cal.is_asleep(sm) {
+                    route_requests(queue, sm, &decoder, &mut lanes, &mut completions[sm]);
+                }
             }
-        }
-        for (p, lane) in lanes.iter_mut().enumerate() {
-            if !lane.reqs.is_empty() {
-                lane.drain(hier.partition_mut(p), now);
+            for (p, lane) in lanes.iter_mut().enumerate() {
+                if !lane.reqs.is_empty() {
+                    let part = hier.partition_mut(p);
+                    lane.drain(part, now);
+                    if cal.mem_enabled {
+                        let next = part.next_event();
+                        cal.mem_refresh(p, next);
+                    }
+                }
             }
+            gather_results(&mut lanes, &mut completions);
+        } else {
+            cal.note_round_skip(dt);
         }
-        gather_results(&mut lanes, &mut completions);
         // 3c: per-SM completion in SM-index order. Sleeping SMs are a
         // fixed point here (no completions, no barrier to release, no
         // block to retire, profile replayed later), so they skip the
@@ -449,8 +592,10 @@ fn run_serial(
             if cal.is_asleep(sm) {
                 continue;
             }
-            hier.mshr_views(sm, &mut views);
-            core.complete_memory(&mut completions[sm], &views, now, dt, tele);
+            if mem_round {
+                hier.mshr_views(sm, &mut views[sm]);
+            }
+            core.complete_memory(&mut completions[sm], &views[sm], now, dt, tele);
             core.finish_cycle();
             core.commit_profile(dt, tele);
             let admissible = core.has_free_slot() && next_block < launch.grid_dim;
@@ -478,6 +623,7 @@ fn run_serial(
         activity: act,
         sm_sleep_cycles: cal.sleep_cycles,
         ff_wakeups: cal.wakeups,
+        mem_skip_cycles: cal.mem_skip_cycles,
     }
 }
 
@@ -542,6 +688,16 @@ fn run_parallel(
 
     let hier = MemoryHierarchy::new(cfg);
     let decoder = hier.decoder();
+    // Seed each SM's view cache with the initial (all-free) MSHR views:
+    // the memory calendar lets phase 3c skip refreshing them on cycles
+    // where no partition state changed, so the cache must start valid.
+    let mut views: Vec<Vec<MshrView>> = (0..num_sms)
+        .map(|sm| {
+            let mut v = Vec::new();
+            hier.mshr_views(sm, &mut v);
+            v
+        })
+        .collect();
     let parts: Vec<Mutex<PartUnit>> = hier
         .into_partitions()
         .into_iter()
@@ -553,12 +709,16 @@ fn run_parallel(
         })
         .collect();
     let mut completions: Vec<Vec<Completion>> = (0..num_sms).map(|_| Vec::new()).collect();
-    let mut views: Vec<Vec<MshrView>> = (0..num_sms).map(|_| Vec::new()).collect();
     let mut act = ActivityCounters::default();
     let mut next_block = 0u32;
     let mut now = 0u64;
-    let mut cal = WakeCalendar::new(cfg, tele, num_sms);
+    let mut cal = WakeCalendar::new(cfg, tele, num_sms, parts.len());
     let mut due: Vec<usize> = Vec::new();
+    // Set by any worker whose SM queued a memory request this cycle;
+    // barrier B publishes it to the driver, which uses it (with the
+    // memory calendar) to skip the partition-lock rounds on cycles with
+    // provably no memory-side work.
+    let queued_flag = AtomicBool::new(false);
     // Shared work queues: the driver publishes the awake-SM worklist and
     // the nonempty-lane drain list each cycle; workers pull indices with
     // an atomic cursor instead of striding fixed ranges, so a lopsided
@@ -574,6 +734,7 @@ fn run_parallel(
             let (units, parts, image) = (&units, &parts, &image);
             let (worklist, sm_cursor) = (&worklist, &sm_cursor);
             let (drain_list, part_cursor) = (&drain_list, &part_cursor);
+            let queued_flag = &queued_flag;
             s.spawn(move || {
                 let mut global = SharedGlobal::new(image);
                 loop {
@@ -599,6 +760,9 @@ fn run_parallel(
                                 &mut unit.queue,
                                 &mut unit.tele,
                             );
+                            if !unit.queue.is_empty() {
+                                queued_flag.store(true, Ordering::Relaxed);
+                            }
                         }
                     }
                     barrier.wait(); // B: end of step phase (main routes)
@@ -637,12 +801,14 @@ fn run_parallel(
 
             // Phase 2: publish the awake worklist and let the workers
             // step this cycle.
-            {
+            let all_asleep = {
                 let mut awake = worklist.write().expect("awake worklist lock");
                 awake.clear();
                 awake.extend((0..num_sms).filter(|&sm| !cal.is_asleep(sm)));
-            }
+                awake.is_empty()
+            };
             sm_cursor.store(0, Ordering::Relaxed);
+            queued_flag.store(false, Ordering::Relaxed);
             clock.store(now, Ordering::Release);
             barrier.wait(); // A
             barrier.wait(); // B
@@ -682,18 +848,33 @@ fn run_parallel(
             // Phase 3a: retire landed fills and route every queue into
             // the partition lanes in (SM-index, issue) order. Workers
             // are parked between barriers B and C, so the driver takes
-            // all partition locks without contention.
-            {
+            // all partition locks without contention. With the memory
+            // calendar on, the whole round — locks included — is
+            // skipped when no partition has a due fill and no awake SM
+            // queued a request this cycle; partition state is then
+            // provably untouched, which also lets phase 3c reuse the
+            // cached MSHR views.
+            let mem_round = (0..parts.len()).any(|p| cal.mem_due(p, now))
+                || queued_flag.load(Ordering::Relaxed);
+            if mem_round {
                 let mut guards: Vec<_> = parts
                     .iter()
                     .map(|p| p.lock().expect("partition lock"))
                     .collect();
-                for sm in 0..num_sms {
-                    if cal.is_asleep(sm) {
-                        continue; // no fill can land before its wake
+                for (p, g) in guards.iter_mut().enumerate() {
+                    if !cal.mem_due(p, now) {
+                        continue;
                     }
-                    for g in guards.iter_mut() {
-                        g.part.retire_fills(sm, now);
+                    for sm in 0..num_sms {
+                        if !cal.is_asleep(sm) {
+                            // A sleeper's fills cannot land before its
+                            // wake, so only awake SMs' slices retire.
+                            g.part.retire_fills(sm, now);
+                        }
+                    }
+                    if cal.mem_enabled {
+                        let next = g.part.next_event();
+                        cal.mem_refresh(p, next);
                     }
                 }
                 for (sm, unit) in units.iter().enumerate() {
@@ -729,6 +910,9 @@ fn run_parallel(
                         .map(|(p, _)| p),
                 );
                 part_cursor.store(0, Ordering::Relaxed);
+            } else {
+                drain_list.write().expect("drain list lock").clear();
+                part_cursor.store(0, Ordering::Relaxed);
             }
 
             // Phase 3b: workers drain the partitions concurrently
@@ -739,9 +923,19 @@ fn run_parallel(
 
             // Phase 3c: gather results per SM, snapshot the MSHR views,
             // and run the per-SM completion phase in SM-index order.
-            let next_now = next_cycle(now, any_issued, next_wake);
+            let mut next_now = next_cycle(now, any_issued, next_wake);
+            if all_asleep && next_wake == u64::MAX {
+                debug_assert!(!any_issued, "a sleeping SM cannot have issued");
+                next_now = cal.quiet_jump(next_now);
+            }
             let dt = next_now - now;
-            {
+            if !mem_round {
+                cal.note_round_skip(dt);
+            }
+            // Skipped entirely on calendar-skipped rounds: nothing was
+            // routed (completions are empty) and no partition state
+            // changed, so the cached views are still exact.
+            if mem_round {
                 let mut guards: Vec<_> = parts
                     .iter()
                     .map(|p| p.lock().expect("partition lock"))
@@ -750,6 +944,15 @@ fn run_parallel(
                     let lane = &mut g.lane;
                     for (req, r) in lane.reqs.drain(..).zip(lane.results.drain(..)) {
                         completions[req.sm][req.seq].result = r;
+                    }
+                }
+                if cal.mem_enabled {
+                    // Drains allocate (and may evict) fills; refresh the
+                    // drained partitions' next events.
+                    let drains = drain_list.read().expect("drain list lock");
+                    for &p in drains.iter() {
+                        let next = guards[p].part.next_event();
+                        cal.mem_refresh(p, next);
                     }
                 }
                 for (sm, v) in views.iter_mut().enumerate() {
@@ -809,6 +1012,7 @@ fn run_parallel(
         activity: act,
         sm_sleep_cycles: cal.sleep_cycles,
         ff_wakeups: cal.wakeups,
+        mem_skip_cycles: cal.mem_skip_cycles,
     }
 }
 
@@ -903,6 +1107,35 @@ mod tests {
         assert_eq!(serial.cycles, parallel.cycles);
         assert_eq!(serial.activity, parallel.activity);
         assert_eq!(g4.as_bytes(), g5.as_bytes());
+    }
+
+    #[test]
+    fn memory_calendar_is_bit_identical_and_engages() {
+        let (p, launch, g0) = memory_kernel();
+        // Starved bandwidth pushes fills far into the future, so most
+        // cycles have no due fill and no fresh request — the rounds the
+        // memory calendar exists to skip.
+        let starved = GpuConfig::scaled(4)
+            .with_mshr_entries(4)
+            .with_dram_bw(1)
+            .with_l2_bw(1);
+        for threads in [1u32, 2] {
+            let cfg = starved.with_sim_threads(threads);
+            let mut g1 = g0.clone();
+            let mut g2 = g0.clone();
+            let on = run_timed(&p, launch, &mut g1, &cfg);
+            let off = run_timed(&p, launch, &mut g2, &cfg.with_mem_calendar(false));
+            assert_eq!(on.cycles, off.cycles, "threads={threads}");
+            assert_eq!(on.activity, off.activity, "threads={threads}");
+            assert_eq!(on.sm_sleep_cycles, off.sm_sleep_cycles);
+            assert_eq!(on.ff_wakeups, off.ff_wakeups);
+            assert_eq!(g1.as_bytes(), g2.as_bytes());
+            assert!(
+                on.mem_skip_cycles > 0,
+                "threads={threads}: memory calendar never skipped a round"
+            );
+            assert_eq!(off.mem_skip_cycles, 0, "knob off must not skip");
+        }
     }
 
     #[test]

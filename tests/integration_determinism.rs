@@ -394,11 +394,13 @@ fn memory_telemetry_is_bit_identical_across_threads() {
 
 #[test]
 fn event_driven_fast_forward_is_bit_identical() {
-    // The wake calendar must be invisible in every observable: the
-    // event_driven on/off × sim_threads × l2_partitions matrix
-    // reproduces the same cycles, activity counters, results memory,
-    // latency histograms, memory timeline and per-PC profiles — the
-    // knob is purely wall-clock, like `sim_threads`.
+    // The wake calendars must be invisible in every observable: the
+    // event_driven on/off × memory-calendar on/off × sim_threads ×
+    // l2_partitions matrix reproduces the same cycles, activity
+    // counters, results memory, latency histograms, memory timeline and
+    // per-PC profiles — both knobs are purely wall-clock, like
+    // `sim_threads`. (With event_driven off the memory calendar is
+    // never consulted, so only the `mc = true` leg is run there.)
     for name in ["pathfinder", "histo_K1"] {
         let spec = spec_by_name(name);
         for parts in [1u32, 4] {
@@ -418,11 +420,14 @@ fn event_driven_fast_forward_is_bit_identical() {
             };
             let (ref_out, ref_mem, ref_tele, ref_profile) =
                 observe(&base.with_event_driven(false).with_sim_threads(1));
-            for ed in [false, true] {
+            for (ed, mc) in [(false, true), (true, false), (true, true)] {
                 for threads in [1u32, 2, 4] {
-                    let cfg = base.with_event_driven(ed).with_sim_threads(threads);
+                    let cfg = base
+                        .with_event_driven(ed)
+                        .with_mem_calendar(mc)
+                        .with_sim_threads(threads);
                     let (out, mem, tele, profile) = observe(&cfg);
-                    let ctx = format!("{name}: ed={ed} threads={threads} parts={parts}");
+                    let ctx = format!("{name}: ed={ed} mc={mc} threads={threads} parts={parts}");
                     assert_eq!(out.cycles, ref_out.cycles, "{ctx}: cycles");
                     assert_eq!(out.activity, ref_out.activity, "{ctx}: activity");
                     assert_eq!(mem, ref_mem, "{ctx}: results memory");
@@ -470,6 +475,12 @@ fn event_driven_fast_forward_is_bit_identical() {
                         assert_eq!(out.sm_sleep_cycles, 0, "{ctx}: slept with knob off");
                         assert_eq!(out.ff_wakeups, 0, "{ctx}: woke with knob off");
                     }
+                    if !ed || !mc {
+                        assert_eq!(
+                            out.mem_skip_cycles, 0,
+                            "{ctx}: memory calendar skipped with knob off"
+                        );
+                    }
                 }
             }
         }
@@ -496,6 +507,84 @@ fn starved_config_engages_the_wake_calendar() {
     assert_eq!(off.ff_wakeups, 0);
     assert_eq!(on.cycles, off.cycles, "fast-forward changed timing");
     assert_eq!(on.activity, off.activity, "fast-forward changed activity");
+}
+
+#[test]
+fn starved_config_engages_the_memory_calendar() {
+    // Same vacuity guard for the memory side: on a starved config most
+    // cycles have no due fill and no fresh request, so the calendar
+    // must actually skip drain/retire rounds — while the escape hatch
+    // (`mem_calendar = false`) reports zero skips and identical timing.
+    let spec = spec_by_name("pathfinder");
+    let cfg = tight_memory_cfg();
+    assert!(cfg.mem_calendar, "memory calendar must default on");
+    for threads in [1u32, 2] {
+        let (on, _) = timed(&spec, &cfg.with_sim_threads(threads));
+        assert!(
+            on.mem_skip_cycles > 0,
+            "threads={threads}: starved run never skipped a drain round"
+        );
+        let (off, _) = timed(
+            &spec,
+            &cfg.with_mem_calendar(false).with_sim_threads(threads),
+        );
+        assert_eq!(
+            off.mem_skip_cycles, 0,
+            "threads={threads}: knob off skipped"
+        );
+        assert_eq!(on.cycles, off.cycles, "threads={threads}: timing changed");
+        assert_eq!(
+            on.activity, off.activity,
+            "threads={threads}: activity changed"
+        );
+        assert_eq!(on.sm_sleep_cycles, off.sm_sleep_cycles);
+        assert_eq!(on.ff_wakeups, off.ff_wakeups);
+    }
+}
+
+#[test]
+fn sleep_accounting_is_exact_at_termination_while_parked() {
+    // A starved run ends with most SMs parked (each SM that drains its
+    // last block goes non-resident and sleeps until the global exit):
+    // the exit-time replay must credit slept cycles only up to the
+    // final cycle, never past it. Two integrals pin that from both
+    // sides: the driver-side activity split and the telemetry-side
+    // SM-resident energy integral each must equal exactly
+    // `num_sms × cycles`.
+    let spec = spec_by_name("pathfinder");
+    for cfg in [
+        tight_memory_cfg(),
+        tight_memory_cfg().with_mem_calendar(false),
+    ] {
+        for threads in [1u32, 2] {
+            let cfg = cfg.with_sim_threads(threads);
+            let mut mem = spec.memory.clone();
+            let mut tele = Telemetry::for_run(cfg.num_sms as usize, TelemetryConfig::default());
+            let out = run_timed_with(
+                &spec.program,
+                spec.launch,
+                &mut mem,
+                &cfg,
+                RunOptions::with_telemetry(&mut tele),
+            );
+            let ctx = format!("mc={} threads={threads}", cfg.mem_calendar);
+            assert!(
+                out.sm_sleep_cycles > 0,
+                "{ctx}: run never parked an SM — the exit replay is untested"
+            );
+            let expect = u64::from(cfg.num_sms) * out.cycles;
+            assert_eq!(
+                out.activity.active_sm_cycles + out.activity.idle_sm_cycles,
+                expect,
+                "{ctx}: driver activity split drifted from num_sms × cycles"
+            );
+            assert_eq!(
+                tele.energy_sm_cycles(),
+                expect,
+                "{ctx}: SM-resident energy integral drifted from num_sms × cycles"
+            );
+        }
+    }
 }
 
 #[test]
